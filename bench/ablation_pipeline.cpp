@@ -1,0 +1,83 @@
+// Ablation: pipeline design choices of §III-F.
+//
+//  1. Worker/core count sweep: the paper bound itself to the four A53
+//     cores; the sweep shows where the frame rate saturates (stage count
+//     and bottleneck stage both cap it).
+//  2. Stage granularity: "the competition over locks can be reduced
+//     beneficially by a more fine-grained division into pipeline stages.
+//     In particular, the image acquisition was split into the camera
+//     access and the internal scaling" — merged vs split acquisition.
+//  3. Synchronization-overhead sensitivity: how the modeled fps degrades
+//     as the per-stage overhead grows (the dilution of the ideal 4x).
+
+#include <cstdio>
+
+#include "nn/zoo.hpp"
+#include "perf/ladder.hpp"
+#include "pipeline/virtual_time.hpp"
+
+using namespace tincy;
+
+int main() {
+  const perf::ZynqPlatform platform;
+  const auto net = nn::zoo::build(nn::zoo::tiny_yolo_cfg(
+      nn::zoo::TinyVariant::kTincy, nn::zoo::QuantMode::kFloat, 416,
+      nn::zoo::CpuProfile::kReference));
+  const perf::StageTimes times = perf::model_stage_times(
+      *net, platform, perf::FirstLayerImpl::kSpecAcc16,
+      perf::HiddenImpl::kFabric);
+  const auto stages = perf::pipelined_stages(platform, times);
+
+  std::printf("ABLATION — PIPELINE DESIGN (modeled ZU3EG stage times)\n\n");
+
+  std::printf("1) worker cores (7 stages, one exclusive PL stage):\n");
+  std::printf("%7s %8s %12s\n", "cores", "fps", "utilization");
+  for (int cores = 1; cores <= 8; ++cores) {
+    const auto r = pipeline::simulate(stages, cores, 64);
+    std::printf("%7d %8.2f %11.0f%%%s\n", cores, r.fps,
+                100.0 * r.utilization(),
+                cores == platform.cores ? "   <- the platform's 4 x A53" : "");
+  }
+
+  std::printf("\n2) stage granularity (split vs merged acquisition):\n");
+  // Merged acquisition: one stage carrying the full 40 ms (+1 overhead
+  // quantum instead of 2). Splitting pays an extra overhead quantum but
+  // halves the largest stage — it wins wherever the pipeline is
+  // bottleneck-bound (stage-serial cap) rather than work-bound.
+  std::vector<pipeline::TimedStage> merged;
+  merged.push_back({"acquisition(merged)",
+                    times.acquisition_ms + platform.pipeline_sync_overhead_ms,
+                    ""});
+  for (size_t i = 2; i < stages.size(); ++i) merged.push_back(stages[i]);
+  std::printf("%7s %12s %12s\n", "cores", "split fps", "merged fps");
+  for (int cores = 2; cores <= 8; cores += 2) {
+    const auto split_r = pipeline::simulate(stages, cores, 64);
+    const auto merged_r = pipeline::simulate(merged, cores, 64);
+    std::printf("%7d %12.2f %12.2f\n", cores, split_r.fps, merged_r.fps);
+  }
+  std::printf(
+      "   At 4 cores both configurations are work-bound and merging even\n"
+      "   saves one overhead quantum; with more cores the merged %.1f ms\n"
+      "   stage becomes the serial bottleneck and the split pulls ahead —\n"
+      "   the paper's fine-grained split buys headroom exactly where the\n"
+      "   stage-serial cap (not total work) limits the frame rate.\n",
+      merged.front().duration_ms);
+
+  std::printf("\n3) per-stage synchronization overhead (4 cores):\n");
+  std::printf("%14s %8s %10s\n", "overhead ms", "fps", "vs ideal");
+  double ideal_fps = 0.0;
+  for (const double o : {0.0, 4.0, 8.0, 12.8, 20.0, 30.0}) {
+    perf::ZynqPlatform p = platform;
+    p.pipeline_sync_overhead_ms = o;
+    const auto s = perf::pipelined_stages(p, times);
+    const auto r = pipeline::simulate(s, p.cores, 64);
+    if (o == 0.0) ideal_fps = r.fps;
+    std::printf("%14.1f %8.2f %9.0f%%%s\n", o, r.fps, 100.0 * r.fps / ideal_fps,
+                o == 12.8 ? "   <- calibrated to the paper's 16 fps" : "");
+  }
+  std::printf(
+      "\nThe paper's measured 16 fps against the ~23 fps ideal corresponds\n"
+      "to ~13 ms of per-stage scheduling/lock/cache interference — the\n"
+      "'parallelization and synchronization overhead' dilution of SIII-F.\n");
+  return 0;
+}

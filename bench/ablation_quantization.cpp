@@ -1,0 +1,128 @@
+// Ablation: hidden-layer activation precision.
+//
+// The paper: "we were not able to produce sensible results with a complete
+// binarization of Tincy YOLO. While the network weights are, indeed,
+// binarized, we maintain a quantization of 3 bits for all feature map
+// values." This bench sweeps the activation bit-width A of the hidden
+// layers and reports (a) the output deviation from the float network
+// (untrained, same weights — the signal retraining must recover), and
+// (b) what A costs on the fabric: MVTU cycles scale linearly with A
+// (bit-serial planes) and the threshold units grow as 2^A − 1.
+
+#include <cstdio>
+
+#include "core/rng.hpp"
+#include "data/synthvoc.hpp"
+#include "fabric/resource_model.hpp"
+#include "nn/builder.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/maxpool_layer.hpp"
+#include "nn/zoo.hpp"
+#include "perf/stage_times.hpp"
+
+using namespace tincy;
+
+namespace {
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION — HIDDEN-LAYER ACTIVATION PRECISION (W1A<A>)\n\n");
+
+  // Isolate the *activation* quantization error: one hidden conv with
+  // binary weights in both arms; the reference arm keeps float ReLU
+  // activations, the test arm snaps them to the A-bit grid over the same
+  // fixed [0, 2] range. Inputs are realistic feature maps produced by a
+  // float stem over SynthVOC images.
+  Rng rng(21);
+  auto stem = nn::build_network_from_string(
+      "[net]\nwidth=64\nheight=64\nchannels=3\n"
+      "[convolutional]\nbatch_normalize=1\nfilters=16\nsize=3\nstride=2\n"
+      "pad=1\nactivation=relu\nkernel=fused\n");
+  nn::zoo::randomize(*stem, rng);
+  const data::SynthVoc dataset({.image_size = 64}, 22);
+
+  const auto make_layer = [&](int abits) {
+    nn::ConvConfig cfg;
+    cfg.filters = 32;
+    cfg.size = 3;
+    cfg.pad = true;
+    cfg.activation = nn::Activation::kRelu;
+    cfg.batch_normalize = true;
+    cfg.binary_weights = true;
+    cfg.kernel = nn::ConvKernel::kReference;
+    if (abits < 32) {
+      cfg.act_bits = abits;
+      cfg.in_scale = 2.0f / static_cast<float>((1 << abits) - 1);
+      cfg.out_scale = cfg.in_scale;
+      // Full fabric semantics: input snapped to the A-bit grid too.
+      cfg.kernel = nn::ConvKernel::kQuantReference;
+    }
+    return std::make_unique<nn::ConvLayer>(cfg, Shape{16, 32, 32});
+  };
+  auto reference = make_layer(32);
+  Rng wrng(23);
+  nn::Network holder(Shape{16, 32, 32});  // reuse zoo randomize on one layer
+  {
+    auto tmp = make_layer(32);
+    holder.add(std::move(tmp));
+    nn::zoo::randomize(holder, wrng);
+    auto& src = dynamic_cast<nn::ConvLayer&>(holder.layer(0));
+    reference->weights() = src.weights();
+    reference->biases() = src.biases();
+    reference->bn_scales() = src.bn_scales();
+    reference->bn_mean() = src.bn_mean();
+    reference->bn_var() = src.bn_var();
+    reference->invalidate_cached_quantization();
+  }
+
+  const perf::ZynqPlatform platform;
+  std::printf("%4s %16s %16s %12s %12s\n", "A", "rel-L1 deviation",
+              "MVTU cyc/col*", "thresh LUTs", "fits ZU3EG");
+  for (const int abits : {1, 2, 3, 4, 5}) {
+    auto qlayer = make_layer(abits);
+    qlayer->weights() = reference->weights();
+    qlayer->biases() = reference->biases();
+    qlayer->bn_scales() = reference->bn_scales();
+    qlayer->bn_mean() = reference->bn_mean();
+    qlayer->bn_var() = reference->bn_var();
+    qlayer->invalidate_cached_quantization();
+
+    double err = 0.0, mag = 0.0;
+    for (int64_t img = 0; img < 4; ++img) {
+      const Tensor& fmap = stem->forward(dataset.sample(img).image);
+      Tensor a(reference->output_shape()), b(qlayer->output_shape());
+      reference->forward(fmap, a);
+      qlayer->forward(fmap, b);
+      for (int64_t i = 0; i < a.numel(); ++i) {
+        err += std::abs(a[i] - b[i]);
+        mag += std::abs(a[i]);
+      }
+    }
+
+    // Fabric cost: one representative large layer (512x4608 at Tincy scale).
+    const int64_t cycles = fabric::fold_cycles_per_vector(
+        {512, 4608}, platform.fabric_model.folding, abits);
+    fabric::EngineSpec spec;
+    spec.folding = platform.fabric_model.folding;
+    spec.act_bits = abits;
+    spec.max_rows = 512;
+    spec.max_depth = 4608;
+    spec.weight_bits_on_chip = 512 * 4608;
+    const fabric::Resources r = fabric::estimate_engine(spec);
+    std::printf("%4d %16.3f %16lld %12lld %12s%s\n", abits, err / mag,
+                static_cast<long long>(cycles),
+                static_cast<long long>(spec.folding.pe *
+                                       (((1 << abits) - 1) * 16 + 48)),
+                fabric::fits(r, fabric::Device{}) ? "yes" : "NO",
+                abits == 3 ? "   <- paper's choice" : "");
+  }
+
+  std::printf(
+      "\n(*) per output column of the largest Tincy layer, PE=32 SIMD=36.\n"
+      "Deviation shrinks with every added bit while fabric time grows\n"
+      "linearly and threshold hardware doubles per bit: A=3 is the knee —\n"
+      "A=1 'failed to maintain the desired degree of accuracy' (paper) and\n"
+      "A>=4 pays cycles/LUTs for deviation retraining can already absorb.\n");
+  return 0;
+}

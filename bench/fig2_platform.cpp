@@ -1,0 +1,49 @@
+// Reproduces Fig. 2's content: the compute opportunities of the Zynq
+// UltraScale+ platform — 4 A53 cores, NEON lane counts per data type, and
+// the programmable-logic QNN engine with its resource budget.
+
+#include <cstdio>
+
+#include "fabric/resource_model.hpp"
+#include "perf/platform.hpp"
+#include "simd/vec.hpp"
+
+using namespace tincy;
+
+int main() {
+  const perf::ZynqPlatform p;
+  std::printf("FIG. 2 — COMPUTE OPPORTUNITIES OF THE ZYNQ ULTRASCALE+ PLATFORM\n\n");
+  std::printf("Processing system: %d x ARM Cortex-A53 @ %.1f GHz\n", p.cores,
+              p.a53_clock_ghz);
+  std::printf("NEON 128-bit SIMD lanes per register:\n");
+  std::printf("  f32 : %d lanes (single-precision)\n", simd::F32x4::kLanes);
+  std::printf("  i16 : %d lanes\n", simd::I16x8::kLanes);
+  std::printf("  i8  : %d lanes\n", simd::I8x16::kLanes);
+
+  const fabric::Device d;
+  std::printf("\nProgrammable logic (%s): %lld LUTs, %lld FFs, %lld BRAM36, %lld DSPs\n",
+              d.name.c_str(), static_cast<long long>(d.luts),
+              static_cast<long long>(d.ffs), static_cast<long long>(d.bram36),
+              static_cast<long long>(d.dsp));
+
+  fabric::EngineSpec engine;
+  engine.folding = p.fabric_model.folding;
+  engine.act_bits = 3;
+  engine.max_rows = 512;
+  engine.max_depth = 4608;
+  engine.weight_bits_on_chip = 512 * 4608;
+  const fabric::Resources r = fabric::estimate_engine(engine);
+  std::printf("\nGeneralized conv+pool QNN engine (PE=%lld, SIMD=%lld, W1A3):\n",
+              static_cast<long long>(engine.folding.pe),
+              static_cast<long long>(engine.folding.simd));
+  std::printf("  estimate: %lld LUTs, %lld BRAM36\n",
+              static_cast<long long>(r.luts), static_cast<long long>(r.bram36));
+  std::printf("  engines fitting the device: %lld\n",
+              static_cast<long long>(fabric::max_engines(engine, d)));
+  std::printf(
+      "  => the layers must time-share ONE engine (no dataflow pipeline),\n"
+      "     exactly the paper's architectural constraint (Sec. III-A).\n");
+
+  std::printf("\n(Mali GPU present on the SoC but unexplored, as in the paper.)\n");
+  return 0;
+}

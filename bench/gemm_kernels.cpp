@@ -1,0 +1,184 @@
+// Host microbenchmarks of the §III-D kernel progression for the first
+// convolutional layer. Absolute times are host times, not A53 times; the
+// *relative* ordering (generic < fused < specialized; quantized variants
+// improving data locality) is the property being validated against the
+// paper's 620 → 295 → 160 → 140 → 120 ms ladder.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "gemm/first_layer.hpp"
+#include "gemm/gemm_lowp.hpp"
+#include "gemm/gemm_ref.hpp"
+#include "gemm/gemm_simd.hpp"
+#include "quant/affine.hpp"
+
+using namespace tincy;
+
+namespace {
+
+struct Fixture {
+  // First-layer geometry at reduced resolution (3 channels, K=3) so a
+  // full google-benchmark run stays quick on any host.
+  gemm::ConvGeometry g{3, 104, 104, 3, 1, 1};
+  Tensor image{Shape{3, 104, 104}};
+  Tensor weights{Shape{16, 27}};
+  Tensor bias{Shape{16}};
+  Tensor out;
+  quant::AffineParams in_params;
+  gemm::SymmetricWeights sym;
+
+  Fixture() {
+    Rng rng(1);
+    for (int64_t i = 0; i < image.numel(); ++i)
+      image[i] = rng.uniform(0.0f, 1.0f);
+    for (int64_t i = 0; i < weights.numel(); ++i) weights[i] = rng.normal();
+    for (int64_t i = 0; i < bias.numel(); ++i) bias[i] = rng.normal();
+    out = Tensor(Shape{16, g.num_patches()});
+    in_params = quant::choose_affine_params(0.0f, 1.0f);
+    sym = gemm::quantize_symmetric(weights);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Conv_GenericIm2colGemm(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    gemm::conv_via_im2col_f32(f.image.data(), f.g, f.weights.data(), 16,
+                              f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_Conv_GenericIm2colGemm);
+
+void BM_Conv_FusedSlicedF32(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    gemm::fused_conv_f32(f.image.data(), f.g, f.weights.data(), 16,
+                         f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_Conv_FusedSlicedF32);
+
+void BM_Conv_LowpGemm(benchmark::State& state) {
+  auto& f = fixture();
+  const auto wp = quant::choose_affine_params(-2.0f, 2.0f);
+  const TensorU8 wq = quant::quantize(f.weights, wp);
+  for (auto _ : state) {
+    gemm::conv_lowp_f32out(f.image.data(), f.g, f.in_params, wq.data(), wp,
+                           16, f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_Conv_LowpGemm);
+
+void BM_Conv_FusedLowp(benchmark::State& state) {
+  auto& f = fixture();
+  const auto wp = quant::choose_affine_params(-2.0f, 2.0f);
+  const TensorU8 wq = quant::quantize(f.weights, wp);
+  for (auto _ : state) {
+    gemm::fused_conv_lowp_f32out(f.image.data(), f.g, f.in_params, wq.data(),
+                                 wp, 16, f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_Conv_FusedLowp);
+
+void BM_FirstLayer_SpecF32(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    gemm::first_layer_f32(f.image.data(), f.g, f.weights.data(),
+                          f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_FirstLayer_SpecF32);
+
+void BM_FirstLayer_SpecAcc32(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    gemm::first_layer_lowp_acc32(f.image.data(), f.g, f.in_params, f.sym,
+                                 f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_FirstLayer_SpecAcc32);
+
+void BM_FirstLayer_SpecAcc16(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    gemm::first_layer_lowp_acc16(f.image.data(), f.g, f.in_params, f.sym,
+                                 f.bias.data(), f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_FirstLayer_SpecAcc16);
+
+// The algorithmic simplification (d): stride 2 quarters the applications.
+void BM_FirstLayer_SpecAcc16_Stride2(benchmark::State& state) {
+  auto& f = fixture();
+  gemm::ConvGeometry g2 = f.g;
+  g2.stride = 2;
+  Tensor out(Shape{16, g2.num_patches()});
+  for (auto _ : state) {
+    gemm::first_layer_lowp_acc16(f.image.data(), g2, f.in_params, f.sym,
+                                 f.bias.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FirstLayer_SpecAcc16_Stride2);
+
+// --- Raw GEMM variants at a hidden-layer-like size (128 × 2704 × 576) ---
+
+struct GemmFixture {
+  static constexpr int64_t M = 128, N = 2704, K = 576;
+  Tensor a{Shape{M, K}}, b{Shape{K, N}}, c{Shape{M, N}};
+  GemmFixture() {
+    Rng rng(2);
+    for (int64_t i = 0; i < a.numel(); ++i) a[i] = rng.normal();
+    for (int64_t i = 0; i < b.numel(); ++i) b[i] = rng.normal();
+  }
+};
+
+GemmFixture& gemm_fixture() {
+  static GemmFixture f;
+  return f;
+}
+
+void BM_Gemm_Reference(benchmark::State& state) {
+  auto& f = gemm_fixture();
+  for (auto _ : state) {
+    gemm::gemm_ref(f.M, f.N, f.K, f.a.data(), f.b.data(), f.c.data());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_Gemm_Reference);
+
+void BM_Gemm_Lanes(benchmark::State& state) {
+  auto& f = gemm_fixture();
+  for (auto _ : state) {
+    gemm::gemm_f32_lanes(f.M, f.N, f.K, f.a.data(), f.b.data(), f.c.data());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_Gemm_Lanes);
+
+void BM_Gemm_Blocked(benchmark::State& state) {
+  auto& f = gemm_fixture();
+  for (auto _ : state) {
+    gemm::gemm_f32_blocked(f.M, f.N, f.K, f.a.data(), f.b.data(), f.c.data());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_Gemm_Blocked);
+
+}  // namespace
+
+BENCHMARK_MAIN();

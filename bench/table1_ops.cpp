@@ -1,0 +1,61 @@
+// Reproduces Table I: "The challenge posed by Tiny YOLO versus Tincy
+// YOLO" — operations per frame, layer by layer, for both topologies.
+
+#include <cstdio>
+#include <string>
+
+#include "core/string_utils.hpp"
+#include "nn/ops.hpp"
+#include "nn/zoo.hpp"
+
+using namespace tincy;
+using nn::zoo::QuantMode;
+using nn::zoo::TinyVariant;
+
+int main() {
+  const auto tiny = nn::zoo::build(
+      nn::zoo::tiny_yolo_cfg(TinyVariant::kTiny, QuantMode::kFloat));
+  const auto tincy_net = nn::zoo::build(
+      nn::zoo::tiny_yolo_cfg(TinyVariant::kTincy, QuantMode::kFloat));
+
+  const auto tiny_rows = nn::ops_rows(*tiny);
+  const auto tincy_rows = nn::ops_rows(*tincy_net);
+
+  std::printf("TABLE I — THE CHALLENGE POSED BY TINY YOLO VERSUS TINCY YOLO\n");
+  std::printf("%5s  %-6s  %18s  %18s\n", "Layer", "Type", "Tiny YOLO ops",
+              "Tincy YOLO ops");
+  std::printf("%s\n", std::string(54, '-').c_str());
+
+  // Tincy drops the first maxpool (modification (d)); keep the paper's row
+  // alignment by printing "-" there.
+  size_t ti = 0;
+  for (size_t i = 0; i < tiny_rows.size(); ++i) {
+    const auto& row = tiny_rows[i];
+    if (row.type == "region") break;
+    std::string tincy_ops = "-";
+    if (!(i == 1 && row.type == "pool")) {  // the dropped pool row
+      if (tincy_rows[ti].type == "region") break;
+      tincy_ops = with_commas(tincy_rows[ti].ops);
+      ++ti;
+    }
+    std::printf("%5zu  %-6s  %18s  %18s\n", i + 1, row.type.c_str(),
+                with_commas(row.ops).c_str(), tincy_ops.c_str());
+  }
+  std::printf("%s\n", std::string(54, '-').c_str());
+  std::printf("%5s  %-6s  %18s  %18s\n", "", "Sigma",
+              with_commas(nn::total_ops(*tiny)).c_str(),
+              with_commas(nn::total_ops(*tincy_net)).c_str());
+  std::printf("\nPaper:    Tiny YOLO = 6,971,272,984   Tincy YOLO = 4,445,001,496\n");
+  std::printf("Measured: Tiny YOLO = %s   Tincy YOLO = %s\n",
+              with_commas(nn::total_ops(*tiny)).c_str(),
+              with_commas(nn::total_ops(*tincy_net)).c_str());
+
+  // Paper: ">97% of Compute" is in the hidden layers addressable by the
+  // offloaded HW QNN accelerator.
+  int64_t hidden = 0;
+  for (size_t i = 2; i + 2 < tiny_rows.size(); ++i) hidden += tiny_rows[i].ops;
+  std::printf("Hidden-layer share (Tiny): %.2f %% (paper: > 97 %%)\n",
+              100.0 * static_cast<double>(hidden) /
+                  static_cast<double>(nn::total_ops(*tiny)));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table III: "Inference processing time of video frames broken
+// into stages" — the generic Darknet float path on the modeled 4xA53
+// platform (one core active), totalling ~10s per frame (0.1 fps).
+
+#include <cstdio>
+
+#include "nn/zoo.hpp"
+#include "perf/stage_times.hpp"
+
+using namespace tincy;
+using nn::zoo::CpuProfile;
+using nn::zoo::QuantMode;
+using nn::zoo::TinyVariant;
+
+int main() {
+  const perf::ZynqPlatform platform;
+  const auto net = nn::zoo::build(nn::zoo::tiny_yolo_cfg(
+      TinyVariant::kTiny, QuantMode::kFloat, 416, CpuProfile::kReference));
+  const perf::StageTimes t = perf::model_stage_times(
+      *net, platform, perf::FirstLayerImpl::kGeneric,
+      perf::HiddenImpl::kGeneric);
+
+  std::printf(
+      "TABLE III — INFERENCE PROCESSING TIME OF VIDEO FRAMES BY STAGE\n");
+  std::printf("%-20s %10s %10s\n", "Stage", "Paper ms", "Model ms");
+  const struct {
+    const char* name;
+    double paper;
+    double model;
+  } rows[] = {
+      {"Image Acquisition", 40, t.acquisition_ms},
+      {"Input Layer", 620, t.input_layer_ms},
+      {"Max Pool", 140, t.first_pool_ms},
+      {"Hidden Layers", 9160, t.hidden_layers_ms},
+      {"Output Layer", 30, t.output_layer_ms},
+      {"Box Drawing", 15, t.box_drawing_ms},
+      {"Image Output", 25, t.image_output_ms},
+  };
+  for (const auto& r : rows)
+    std::printf("%-20s %10.0f %10.1f\n", r.name, r.paper, r.model);
+  std::printf("%-20s %10.0f %10.1f\n", "Total", 10030.0, t.total_ms());
+  std::printf("\nFrame rate: paper 0.1 fps, model %.3f fps\n", t.fps());
+  std::printf(
+      "(The scalar-GEMM/im2col/pool rates are calibrated against this very\n"
+      "table — see perf/platform.hpp and EXPERIMENTS.md; every other\n"
+      "configuration in the ladder is then *predicted* from those rates.)\n");
+  return 0;
+}

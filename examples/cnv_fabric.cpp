@@ -1,0 +1,208 @@
+// The CNV-6 workload of Table II, end to end at W1A1: a fully binarized
+// convolutional network (valid convolutions, max pools, an FC head) is
+// trained on SynthDigits, its quantization-sensitive first and last layers
+// stay float on the CPU, and everything in between — convs, pools and the
+// first FC (a K=map-size convolution, i.e. one kernel application) — runs
+// on the QNN accelerator, bit-exactly.
+//
+// Usage: cnv_fabric [steps]   (default 3000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/synthdigits.hpp"
+#include "nn/builder.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/maxpool_layer.hpp"
+#include "train/loss.hpp"
+#include "train/model.hpp"
+#include "train/optimizer.hpp"
+#include "offload/import.hpp"
+
+using namespace tincy;
+
+namespace {
+
+/// Topology (28x28x1 input, all convs valid/pad-free as in FINN's CNV):
+///   conv1 16@3x3, float weights, BN+sign output -> 26x26 of ±1
+///         (the quantization-sensitive layer keeps full-precision weights
+///          but, as in FINN, still emits binarized activations)
+///   conv2 16@3x3 W1A1                   -> 24x24, pool -> 12x12
+///   conv3 32@3x3 W1A1                   -> 10x10, pool -> 5x5
+///   conv4 32@3x3 W1A1                   -> 3x3
+///   fc1   64 W1A1 (conv K=3 over 3x3)   -> 1x1
+///   fc2   10 linear float (conv K=1)
+struct Topo {
+  struct ConvSpec {
+    int64_t filters;
+    int64_t size;
+    bool quant;
+    bool pool_after;
+  };
+  static constexpr ConvSpec specs[] = {
+      {16, 3, false, false}, {16, 3, true, true}, {32, 3, true, true},
+      {32, 3, true, false},  {64, 3, true, false}, {10, 1, false, false}};
+};
+
+train::Model make_cnv(Rng& rng) {
+  train::Model model(Shape{1, 28, 28});
+  Shape shape = model.input_shape();
+  for (const auto& s : Topo::specs) {
+    train::TrainConvConfig cfg;
+    cfg.filters = s.filters;
+    cfg.size = s.size;
+    cfg.pad = false;
+    cfg.activation = nn::Activation::kLinear;
+    if (s.quant) {
+      cfg.binary_weights = true;
+      cfg.act_bits = 1;
+      cfg.bipolar = true;
+      cfg.out_scale = 1.0f;
+    } else if (&s == &Topo::specs[0]) {
+      // First layer: float weights, but BN+sign output feeding the
+      // binarized middle (FINN-style).
+      cfg.act_bits = 1;
+      cfg.bipolar = true;
+      cfg.channel_scale = true;
+      cfg.out_scale = 1.0f;
+    }
+    auto layer = std::make_unique<train::TrainConvLayer>(cfg, shape, rng);
+    shape = layer->output_shape();
+    model.add(std::move(layer));
+    if (s.pool_after) {
+      auto pool = std::make_unique<train::TrainMaxPoolLayer>(2, 2, shape);
+      shape = pool->output_shape();
+      model.add(std::move(pool));
+    }
+  }
+  return model;
+}
+
+std::string cnv_cfg() {
+  std::string cfg = "[net]\nwidth=28\nheight=28\nchannels=1\n";
+  for (const auto& s : Topo::specs) {
+    cfg += "[convolutional]\n";
+    if (s.quant)
+      cfg += "batch_normalize=1\nbinary=1\nabits=1\nbipolar=1\n"
+             "kernel=quant_reference\nin_scale=1\nout_scale=1\n"
+             "activation=linear\n";
+    else if (&s == &Topo::specs[0])
+      cfg += "batch_normalize=1\nabits=1\nbipolar=1\nin_scale=1\n"
+             "out_scale=1\nactivation=linear\n";
+    else
+      cfg += "activation=linear\n";
+    cfg += "filters=" + std::to_string(s.filters) +
+           "\nsize=" + std::to_string(s.size) + "\nstride=1\npad=0\n";
+    if (s.pool_after) cfg += "[maxpool]\nsize=2\nstride=2\n";
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t steps = argc > 1 ? std::atoll(argv[1]) : 3000;
+  const data::SynthDigits digits(77);
+  Rng rng(2);
+  train::Model model = make_cnv(rng);
+
+  std::printf("training W1A1 CNV (4 binarized hidden stages) for %lld "
+              "steps...\n",
+              static_cast<long long>(steps));
+  train::Sgd sgd({.learning_rate = 0.002f, .momentum = 0.9f,
+                  .weight_decay = 0.0f, .grad_clip = 1.0f});
+  int64_t idx = 0;
+  for (int64_t step = 0; step < steps; ++step) {
+    model.zero_grad();
+    double loss = 0.0;
+    constexpr int kBatch = 4;
+    for (int b = 0; b < kBatch; ++b) {
+      const auto s = digits.sample(idx++);
+      const Tensor& logits = model.forward(s.image, true);
+      auto res = train::softmax_cross_entropy(logits, s.label);
+      loss += res.loss;
+      for (int64_t i = 0; i < res.grad.numel(); ++i)
+        res.grad[i] /= static_cast<float>(kBatch);
+      model.backward(res.grad);
+    }
+    sgd.step(model.params());
+    if (step % 500 == 0)
+      std::printf("  step %5lld  loss %.3f\n", static_cast<long long>(step),
+                  loss / kBatch);
+  }
+
+  // Deploy: export to the inference twin, offload the binarized middle.
+  auto net = nn::build_network_from_string(cnv_cfg());
+  model.export_to(*net);
+
+  // Hidden portion: layers 1..6 of the inference net (conv2..fc1 + pools).
+  auto hidden = nn::build_network_from_string([&] {
+    std::string cfg = "[net]\nwidth=26\nheight=26\nchannels=16\n";
+    const int64_t hidden_specs[][3] = {  // filters, size, pool_after
+        {16, 3, 1}, {32, 3, 1}, {32, 3, 0}, {64, 3, 0}};
+    for (const auto& h : hidden_specs) {
+      cfg += "[convolutional]\nbatch_normalize=1\nbinary=1\nabits=1\n"
+             "bipolar=1\nkernel=quant_reference\nin_scale=1\nout_scale=1\n"
+             "activation=linear\nfilters=" + std::to_string(h[0]) +
+             "\nsize=" + std::to_string(h[1]) + "\nstride=1\npad=0\n";
+      if (h[2]) cfg += "[maxpool]\nsize=2\nstride=2\n";
+    }
+    return cfg;
+  }());
+  // Copy parameters of the quantized convs across (net layers 1,3,5,6).
+  const int64_t src_indices[] = {1, 3, 5, 6};
+  int64_t dst_conv = 0;
+  for (int64_t i = 0; i < hidden->num_layers(); ++i) {
+    auto* dst = dynamic_cast<nn::ConvLayer*>(&hidden->layer(i));
+    if (!dst) continue;
+    const auto& src = dynamic_cast<const nn::ConvLayer&>(
+        net->layer(src_indices[dst_conv++]));
+    dst->weights() = src.weights();
+    dst->biases() = src.biases();
+    dst->bn_scales() = src.bn_scales();
+    dst->bn_mean() = src.bn_mean();
+    dst->bn_var() = src.bn_var();
+    dst->invalidate_cached_quantization();
+  }
+  const fabric::QnnAccelerator acc = offload::import_accelerator(*hidden);
+  std::printf("offloaded %lld fabric stages; modeled PL time %.3f ms/image\n",
+              static_cast<long long>(acc.num_layers()), acc.total_ms());
+
+  // Evaluate: full CPU net vs CPU-first-layer + fabric middle + CPU head.
+  const int64_t eval_n = 200, eval_offset = 1'000'000;
+  int correct_cpu = 0, correct_fabric = 0;
+  int64_t mismatches = 0;
+  auto& first = dynamic_cast<nn::ConvLayer&>(net->layer(0));
+  auto& head = dynamic_cast<nn::ConvLayer&>(net->layer(7));
+  for (int64_t i = 0; i < eval_n; ++i) {
+    const auto s = digits.sample(eval_offset + i);
+    const Tensor& cpu_logits = net->forward(s.image);
+    const Tensor& cpu_mid = net->layer_output(6);
+
+    Tensor stem(first.output_shape());
+    first.forward(s.image, stem);
+    Tensor fab_mid = acc.forward(stem);
+    for (int64_t j = 0; j < fab_mid.numel(); ++j)
+      mismatches += fab_mid[j] != cpu_mid[j];
+    Tensor logits(head.output_shape());
+    fab_mid.reshape(net->layer_input_shape(7));
+    head.forward(fab_mid, logits);
+
+    const auto argmax = [](const Tensor& t) {
+      int best = 0;
+      for (int64_t j = 1; j < t.numel(); ++j)
+        if (t[j] > t[best]) best = static_cast<int>(j);
+      return best;
+    };
+    correct_cpu += argmax(cpu_logits) == s.label;
+    correct_fabric += argmax(logits) == s.label;
+  }
+  std::printf("\naccuracy over %lld digits: CPU %.1f %%, fabric %.1f %%\n",
+              static_cast<long long>(eval_n), 100.0 * correct_cpu / eval_n,
+              100.0 * correct_fabric / eval_n);
+  std::printf("fabric vs CPU middle activations: %lld mismatches "
+              "(bit-exact expected)\n",
+              static_cast<long long>(mismatches));
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build Tincy YOLO from its cfg, randomize weights, run one
+// synthetic frame end to end (letterbox -> inference -> region decode ->
+// NMS) and print the detections. With random weights the detections are
+// arbitrary — the point is the 10-line end-to-end API. See train_synthvoc
+// for trained weights and live_video_demo for the full pipeline.
+
+#include <cstdio>
+
+#include "core/rng.hpp"
+#include "data/image.hpp"
+#include "data/synthvoc.hpp"
+#include "detect/decode.hpp"
+#include "detect/nms.hpp"
+#include "nn/region_layer.hpp"
+#include "nn/zoo.hpp"
+
+using namespace tincy;
+
+int main() {
+  // 1. Build the network from its Darknet-style cfg (64x64 input for a
+  //    quick run; the paper uses 416).
+  const std::string cfg = nn::zoo::tiny_yolo_cfg(
+      nn::zoo::TinyVariant::kTincy, nn::zoo::QuantMode::kFloat, 64,
+      nn::zoo::CpuProfile::kFused);
+  auto net = nn::zoo::build(cfg);
+  Rng rng(1);
+  nn::zoo::randomize(*net, rng);
+  std::printf("Tincy YOLO: %lld layers, input %s, output %s\n",
+              static_cast<long long>(net->num_layers()),
+              net->input_shape().to_string().c_str(),
+              net->output_shape().to_string().c_str());
+
+  // 2. Grab a synthetic image and letterbox it to the network input.
+  const data::SynthVoc dataset({.image_size = 96}, 7);
+  const data::SynthSample sample = dataset.sample(0);
+  const Tensor input = data::letterbox(sample.image, 64);
+
+  // 3. Inference.
+  const Tensor& features = net->forward(input);
+
+  // 4. Decode the region output and suppress duplicates.
+  const auto* region =
+      dynamic_cast<const nn::RegionLayer*>(&net->layer(net->num_layers() - 1));
+  auto dets = detect::decode_region(features, region->config(), 0.2f);
+  dets = detect::nms(std::move(dets), 0.45f);
+
+  std::printf("%zu detections above threshold (random weights!):\n",
+              dets.size());
+  for (const auto& d : dets)
+    std::printf("  class %2d  score %.2f  box (%.2f, %.2f, %.2f, %.2f)\n",
+                d.class_id, d.score(), d.box.x, d.box.y, d.box.w, d.box.h);
+  std::printf("ground truth had %zu objects\n", sample.objects.size());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file errors.hpp
+/// Error handling primitives shared by all tincy libraries.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tincy {
+
+/// Exception type thrown by all tincy components on contract violations,
+/// malformed input files, or configuration errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace tincy
+
+/// Runtime contract check that throws tincy::Error with source location.
+/// Active in all build types: these guard file parsing and user-facing API
+/// misuse, not hot inner loops.
+#define TINCY_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tincy::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like TINCY_CHECK but with a streamed message: TINCY_CHECK_MSG(x>0, "x=" << x).
+#define TINCY_CHECK_MSG(expr, stream_expr)                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream tincy_check_os_;                         \
+      tincy_check_os_ << stream_expr;                             \
+      ::tincy::detail::throw_check_failure(#expr, __FILE__,       \
+                                           __LINE__,              \
+                                           tincy_check_os_.str()); \
+    }                                                             \
+  } while (0)

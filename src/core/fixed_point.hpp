@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// Fixed-point arithmetic helpers with ARM-NEON-compatible semantics.
+///
+/// The paper's specialized first-layer kernel accumulates 8-bit products in
+/// 16-bit lanes and must "perform a rounding right shift by 4 bit positions
+/// before accumulation" to avoid destructive overflow — exactly the
+/// semantics of NEON's VRSHR (rounding shift right) and VQMOVN (saturating
+/// narrow). These helpers reproduce those instructions bit-exactly so the
+/// CPU kernels and their tests agree with what the A53 would compute.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace tincy {
+
+/// Rounding arithmetic right shift (NEON VRSHR): adds the half-ulp
+/// (1 << (n-1)) before shifting, i.e. round-half-up toward +inf.
+/// n == 0 returns x unchanged.
+template <typename T>
+constexpr T rounding_right_shift(T x, int n) {
+  static_assert(std::is_signed_v<T> && std::is_integral_v<T>);
+  if (n <= 0) return x;
+  using Wide = std::conditional_t<(sizeof(T) < 8), int64_t, T>;
+  const Wide rounded = static_cast<Wide>(x) + (Wide{1} << (n - 1));
+  return static_cast<T>(rounded >> n);
+}
+
+/// Saturating cast to a narrower signed/unsigned integer (NEON VQMOVN /
+/// VQMOVUN): clamps to the target's representable range.
+template <typename To, typename From>
+constexpr To saturate_cast(From x) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  using Wide = std::conditional_t<std::is_signed_v<From>, int64_t, uint64_t>;
+  const Wide w = static_cast<Wide>(x);
+  const Wide lo = static_cast<Wide>(std::numeric_limits<To>::min());
+  const Wide hi = static_cast<Wide>(std::numeric_limits<To>::max());
+  return static_cast<To>(std::clamp(w, lo, hi));
+}
+
+/// Saturating signed addition in the given type (NEON VQADD).
+template <typename T>
+constexpr T saturating_add(T a, T b) {
+  static_assert(std::is_signed_v<T> && sizeof(T) <= 4);
+  const int64_t s = static_cast<int64_t>(a) + static_cast<int64_t>(b);
+  return saturate_cast<T>(s);
+}
+
+/// Saturating rounding doubling high multiply (NEON VQRDMULH), the core of
+/// gemmlowp-style output requantization: returns round((a*b*2) / 2^32)
+/// saturated to int32.
+constexpr int32_t saturating_rounding_doubling_high_mul(int32_t a, int32_t b) {
+  const bool overflow = a == b && a == std::numeric_limits<int32_t>::min();
+  if (overflow) return std::numeric_limits<int32_t>::max();
+  const int64_t ab = static_cast<int64_t>(a) * static_cast<int64_t>(b);
+  const int64_t nudge = ab >= 0 ? (1ll << 30) : (1 - (1ll << 30));
+  return static_cast<int32_t>((ab + nudge) >> 31);
+}
+
+/// gemmlowp-style fixed-point multiply by (multiplier * 2^-shift) where
+/// multiplier is a Q0.31 value in [2^30, 2^31): the standard requantization
+/// step mapping an int32 accumulator to an int32 in the output scale.
+constexpr int32_t multiply_by_quantized_multiplier(int32_t x,
+                                                   int32_t multiplier,
+                                                   int shift) {
+  const int32_t prod = saturating_rounding_doubling_high_mul(x, multiplier);
+  return rounding_right_shift(prod, shift);
+}
+
+}  // namespace tincy

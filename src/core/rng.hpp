@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation (xoshiro256**). All
+/// stochastic components of the framework (weight init, synthetic data,
+/// stress tests) draw from this so runs are reproducible from a seed.
+
+#include <cstdint>
+
+namespace tincy {
+
+/// xoshiro256** generator seeded via SplitMix64. Satisfies the needs of
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x7113C401D2018ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller.
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace tincy

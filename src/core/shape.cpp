@@ -1,0 +1,47 @@
+#include "core/shape.hpp"
+
+#include <sstream>
+
+namespace tincy {
+
+Shape::Shape(std::initializer_list<int64_t> dims) {
+  TINCY_CHECK_MSG(static_cast<int>(dims.size()) <= kMaxRank,
+                  "shape rank " << dims.size() << " exceeds " << kMaxRank);
+  for (int64_t d : dims) {
+    TINCY_CHECK_MSG(d >= 0, "negative dimension " << d);
+    dims_[rank_++] = d;
+  }
+}
+
+int64_t Shape::dim(int axis) const {
+  if (axis < 0) axis += rank_;
+  TINCY_CHECK_MSG(axis >= 0 && axis < rank_,
+                  "axis " << axis << " out of range for rank " << rank_);
+  return dims_[axis];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i)
+    if (dims_[i] != other.dims_[i]) return false;
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace tincy

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file shape.hpp
+/// Tensor shape in CHW / NCHW convention used throughout the framework.
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "core/errors.hpp"
+
+namespace tincy {
+
+/// Dense tensor shape with up to four dimensions.
+///
+/// Feature maps follow Darknet's channel-major convention: a 3-d shape is
+/// (channels, height, width); a 4-d shape prepends the batch dimension.
+/// A 1-d shape is a flat vector, 2-d is (rows, cols) for matrices.
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+
+  /// Constructs a shape from explicit dimensions, e.g. Shape{3, 416, 416}.
+  Shape(std::initializer_list<int64_t> dims);
+
+  /// Number of dimensions (0 for an empty shape).
+  int rank() const { return rank_; }
+
+  /// Dimension extent; negative axes count from the back (-1 == last).
+  int64_t dim(int axis) const;
+
+  int64_t operator[](int axis) const { return dim(axis); }
+
+  /// Total element count (1 for a rank-0 shape).
+  int64_t numel() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Renders as e.g. "(3, 416, 416)".
+  std::string to_string() const;
+
+  // --- Feature-map helpers (CHW or NCHW) ---
+
+  /// Channel count of a CHW/NCHW shape.
+  int64_t channels() const { return dim(rank_ - 3); }
+  /// Height of a CHW/NCHW shape.
+  int64_t height() const { return dim(rank_ - 2); }
+  /// Width of a CHW/NCHW shape.
+  int64_t width() const { return dim(rank_ - 1); }
+
+ private:
+  std::array<int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace tincy

@@ -1,0 +1,78 @@
+#include "core/string_utils.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "core/errors.hpp"
+
+namespace tincy {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_key_value(std::string_view line, std::string& key,
+                     std::string& value) {
+  const size_t eq = line.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = std::string(trim(line.substr(0, eq)));
+  value = std::string(trim(line.substr(eq + 1)));
+  return true;
+}
+
+int64_t parse_int(std::string_view s) {
+  s = trim(s);
+  int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  TINCY_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+                  "not an integer: '" << std::string(s) << "'");
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  // std::from_chars for double is not universally complete in libstdc++ 12
+  // for all formats; strtod on a bounded copy is fine here (cfg files only).
+  const std::string copy(s);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  TINCY_CHECK_MSG(end == copy.c_str() + copy.size() && !copy.empty(),
+                  "not a number: '" << copy << "'");
+  return value;
+}
+
+std::string with_commas(int64_t n) {
+  const bool neg = n < 0;
+  std::string digits = std::to_string(neg ? -n : n);
+  std::string out;
+  const int len = static_cast<int>(digits.size());
+  for (int i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[static_cast<size_t>(i)];
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace tincy

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file string_utils.hpp
+/// Small string helpers for the Darknet-style .cfg parser and tooling.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tincy {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses "key=value" (whitespace-tolerant). Returns false if there is no
+/// '=' in the line.
+bool parse_key_value(std::string_view line, std::string& key,
+                     std::string& value);
+
+/// Strict integer parse; throws tincy::Error on garbage.
+int64_t parse_int(std::string_view s);
+
+/// Strict float parse; throws tincy::Error on garbage.
+double parse_double(std::string_view s);
+
+/// Formats a count with thousands separators, e.g. 6971272984 ->
+/// "6,971,272,984" (used when printing the paper's tables).
+std::string with_commas(int64_t n);
+
+}  // namespace tincy

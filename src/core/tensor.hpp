@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense, owning tensor over a contiguous buffer in row-major (CHW/NCHW)
+/// layout. This is the common currency between all layers and kernels.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/shape.hpp"
+
+namespace tincy {
+
+/// Dense owning tensor of element type T, row-major in the order the shape
+/// lists its dimensions (so CHW shapes are channel-major like Darknet).
+template <typename T>
+class TensorT {
+ public:
+  TensorT() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit TensorT(Shape shape)
+      : shape_(shape), data_(static_cast<size_t>(shape.numel())) {}
+
+  /// Allocates a tensor filled with `value`.
+  TensorT(Shape shape, T value)
+      : shape_(shape), data_(static_cast<size_t>(shape.numel()), value) {}
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  /// Flat element access with bounds check.
+  T& at(int64_t i) {
+    TINCY_CHECK_MSG(i >= 0 && i < numel(), "flat index " << i);
+    return data_[static_cast<size_t>(i)];
+  }
+  const T& at(int64_t i) const {
+    TINCY_CHECK_MSG(i >= 0 && i < numel(), "flat index " << i);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Unchecked flat access for hot loops.
+  T& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  const T& operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// CHW access on a rank-3 tensor.
+  T& at(int64_t c, int64_t h, int64_t w) {
+    return data_[static_cast<size_t>(chw_index(c, h, w))];
+  }
+  const T& at(int64_t c, int64_t h, int64_t w) const {
+    return data_[static_cast<size_t>(chw_index(c, h, w))];
+  }
+
+  /// (row, col) access on a rank-2 tensor.
+  T& at2(int64_t r, int64_t c) {
+    TINCY_CHECK(shape_.rank() == 2);
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+  }
+  const T& at2(int64_t r, int64_t c) const {
+    TINCY_CHECK(shape_.rank() == 2);
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Reshape in place; the element count must be preserved.
+  void reshape(Shape new_shape) {
+    TINCY_CHECK_MSG(new_shape.numel() == numel(),
+                    shape_.to_string() << " -> " << new_shape.to_string());
+    shape_ = new_shape;
+  }
+
+  bool operator==(const TensorT& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  int64_t chw_index(int64_t c, int64_t h, int64_t w) const {
+    TINCY_CHECK(shape_.rank() == 3);
+    const int64_t H = shape_.dim(1), W = shape_.dim(2);
+    TINCY_CHECK_MSG(c >= 0 && c < shape_.dim(0) && h >= 0 && h < H && w >= 0 &&
+                        w < W,
+                    "(" << c << ',' << h << ',' << w << ") in "
+                        << shape_.to_string());
+    return (c * H + h) * W + w;
+  }
+
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using Tensor = TensorT<float>;
+using TensorU8 = TensorT<uint8_t>;
+using TensorI8 = TensorT<int8_t>;
+using TensorI16 = TensorT<int16_t>;
+using TensorI32 = TensorT<int32_t>;
+
+}  // namespace tincy

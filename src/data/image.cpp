@@ -1,0 +1,81 @@
+#include "data/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tincy::data {
+
+Tensor resize_bilinear(const Tensor& image, int64_t out_h, int64_t out_w) {
+  TINCY_CHECK(image.shape().rank() == 3);
+  const int64_t C = image.shape().channels(), H = image.shape().height(),
+                W = image.shape().width();
+  TINCY_CHECK(out_h > 0 && out_w > 0);
+  Tensor out(Shape{C, out_h, out_w});
+  const float sy = out_h > 1 ? static_cast<float>(H - 1) / static_cast<float>(out_h - 1)
+                             : 0.0f;
+  const float sx = out_w > 1 ? static_cast<float>(W - 1) / static_cast<float>(out_w - 1)
+                             : 0.0f;
+  for (int64_t c = 0; c < C; ++c) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      const float fy = static_cast<float>(oy) * sy;
+      const int64_t y0 = static_cast<int64_t>(fy);
+      const int64_t y1 = std::min(y0 + 1, H - 1);
+      const float wy = fy - static_cast<float>(y0);
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        const float fx = static_cast<float>(ox) * sx;
+        const int64_t x0 = static_cast<int64_t>(fx);
+        const int64_t x1 = std::min(x0 + 1, W - 1);
+        const float wx = fx - static_cast<float>(x0);
+        const float v00 = image.at(c, y0, x0), v01 = image.at(c, y0, x1);
+        const float v10 = image.at(c, y1, x0), v11 = image.at(c, y1, x1);
+        out.at(c, oy, ox) = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                            wy * ((1 - wx) * v10 + wx * v11);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor letterbox(const Tensor& image, int64_t size) {
+  TINCY_CHECK(image.shape().rank() == 3);
+  const int64_t C = image.shape().channels(), H = image.shape().height(),
+                W = image.shape().width();
+  int64_t new_w, new_h;
+  if (W >= H) {
+    new_w = size;
+    new_h = std::max<int64_t>(1, H * size / W);
+  } else {
+    new_h = size;
+    new_w = std::max<int64_t>(1, W * size / H);
+  }
+  const Tensor resized = resize_bilinear(image, new_h, new_w);
+  Tensor boxed(Shape{C, size, size}, 0.5f);
+  const int64_t off_y = (size - new_h) / 2, off_x = (size - new_w) / 2;
+  for (int64_t c = 0; c < C; ++c)
+    for (int64_t y = 0; y < new_h; ++y)
+      for (int64_t x = 0; x < new_w; ++x)
+        boxed.at(c, y + off_y, x + off_x) = resized.at(c, y, x);
+  return boxed;
+}
+
+void unletterbox_box(float& bx, float& by, float& bw, float& bh,
+                     int64_t orig_w, int64_t orig_h, int64_t boxed_size) {
+  int64_t new_w, new_h;
+  if (orig_w >= orig_h) {
+    new_w = boxed_size;
+    new_h = std::max<int64_t>(1, orig_h * boxed_size / orig_w);
+  } else {
+    new_h = boxed_size;
+    new_w = std::max<int64_t>(1, orig_w * boxed_size / orig_h);
+  }
+  const float fx = static_cast<float>(new_w) / static_cast<float>(boxed_size);
+  const float fy = static_cast<float>(new_h) / static_cast<float>(boxed_size);
+  const float off_x = (1.0f - fx) / 2.0f;
+  const float off_y = (1.0f - fy) / 2.0f;
+  bx = (bx - off_x) / fx;
+  by = (by - off_y) / fy;
+  bw = bw / fx;
+  bh = bh / fy;
+}
+
+}  // namespace tincy::data

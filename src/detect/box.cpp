@@ -1,0 +1,20 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+
+namespace tincy::detect {
+
+float intersection(const Box& a, const Box& b) {
+  const float w = std::min(a.right(), b.right()) - std::max(a.left(), b.left());
+  const float h = std::min(a.bottom(), b.bottom()) - std::max(a.top(), b.top());
+  if (w <= 0.0f || h <= 0.0f) return 0.0f;
+  return w * h;
+}
+
+float iou(const Box& a, const Box& b) {
+  const float inter = intersection(a, b);
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+}  // namespace tincy::detect

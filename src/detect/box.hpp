@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file box.hpp
+/// Bounding boxes and detections in the Darknet convention: boxes are
+/// (center-x, center-y, width, height), normalized to [0, 1] relative to
+/// the image.
+
+#include <cstdint>
+#include <vector>
+
+namespace tincy::detect {
+
+struct Box {
+  float x = 0.0f;  ///< center x (normalized)
+  float y = 0.0f;  ///< center y (normalized)
+  float w = 0.0f;
+  float h = 0.0f;
+
+  float left() const { return x - w / 2; }
+  float right() const { return x + w / 2; }
+  float top() const { return y - h / 2; }
+  float bottom() const { return y + h / 2; }
+  float area() const { return w * h; }
+};
+
+/// Intersection area of two boxes (0 when disjoint).
+float intersection(const Box& a, const Box& b);
+
+/// Intersection over union in [0, 1]; 0 when both are degenerate.
+float iou(const Box& a, const Box& b);
+
+/// One detection produced by the region decoder.
+struct Detection {
+  Box box;
+  int class_id = -1;
+  float objectness = 0.0f;
+  float class_prob = 0.0f;
+
+  /// Darknet's detection score: objectness · class probability.
+  float score() const { return objectness * class_prob; }
+};
+
+/// Labeled ground-truth object.
+struct GroundTruth {
+  Box box;
+  int class_id = -1;
+};
+
+}  // namespace tincy::detect

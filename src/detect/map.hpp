@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file map.hpp
+/// Pascal VOC mean average precision — the metric of the paper's Table IV.
+/// Implements both the VOC2007 11-point interpolated AP and the all-point
+/// (area-under-PR-curve) variant.
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace tincy::detect {
+
+/// Detections and ground truth of one evaluated image.
+struct ImageEval {
+  std::vector<Detection> detections;
+  std::vector<GroundTruth> ground_truth;
+};
+
+enum class ApStyle {
+  kVoc2007ElevenPoint,  ///< mean of interpolated precision at recall 0,.1,…,1
+  kAllPoint,            ///< exact area under the interpolated PR curve
+};
+
+/// Average precision of one class over a dataset. Detections are matched
+/// greedily in descending score order; a match requires IoU >= iou_threshold
+/// with an unmatched ground-truth box of the same class (VOC protocol:
+/// duplicate detections of one object count as false positives).
+double average_precision(const std::vector<ImageEval>& images, int class_id,
+                         float iou_threshold = 0.5f,
+                         ApStyle style = ApStyle::kVoc2007ElevenPoint);
+
+/// Mean AP over classes [0, num_classes). Classes with no ground truth in
+/// the dataset are skipped (VOC convention).
+double mean_average_precision(const std::vector<ImageEval>& images,
+                              int num_classes, float iou_threshold = 0.5f,
+                              ApStyle style = ApStyle::kVoc2007ElevenPoint);
+
+}  // namespace tincy::detect

@@ -1,0 +1,28 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace tincy::detect {
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.score() > b.score();
+                   });
+  std::vector<Detection> kept;
+  kept.reserve(detections.size());
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (k.class_id == d.class_id && iou(k.box, d.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace tincy::detect

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file nms.hpp
+/// Greedy per-class non-maximum suppression.
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace tincy::detect {
+
+/// Returns the detections surviving greedy NMS: within each class, boxes
+/// are visited in descending score order and any box overlapping an
+/// already-kept same-class box with IoU > `iou_threshold` is dropped.
+/// Output is sorted by descending score.
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold = 0.45f);
+
+}  // namespace tincy::detect

@@ -1,0 +1,231 @@
+#include "fabric/accelerator.hpp"
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "quant/thresholds.hpp"
+
+namespace tincy::fabric {
+
+gemm::ConvGeometry QnnLayerSpec::conv_geometry() const {
+  gemm::ConvGeometry g;
+  g.in_channels = in_channels;
+  g.in_height = in_height;
+  g.in_width = in_width;
+  g.kernel = kernel;
+  g.stride = stride;
+  g.pad = pad;
+  return g;
+}
+
+Shape QnnLayerSpec::output_shape() const {
+  int64_t h = conv_out_height(), w = conv_out_width();
+  if (pool_after) {
+    PoolSpec p{filters, h, w, pool_size, pool_stride};
+    h = p.out_height();
+    w = p.out_width();
+  }
+  return Shape{filters, h, w};
+}
+
+QnnAccelerator::QnnAccelerator(CycleModel model, Device device)
+    : model_(model), device_(device) {}
+
+void QnnAccelerator::add_layer(const QnnLayerSpec& spec,
+                               quant::BinaryMatrix weights,
+                               std::vector<ThresholdChannel> thresholds) {
+  const auto g = spec.conv_geometry();
+  TINCY_CHECK_MSG(weights.rows == spec.filters &&
+                      weights.cols == g.patch_size(),
+                  "weight matrix " << weights.rows << "x" << weights.cols
+                                   << " for spec " << spec.filters << "x"
+                                   << g.patch_size());
+  if (!layers_.empty()) {
+    const Shape prev = layers_.back().spec.output_shape();
+    const Shape expect{spec.in_channels, spec.in_height, spec.in_width};
+    // FC-style stages (1×1 spatial) accept any flattening of the previous
+    // output: CHW linearization is exactly the FC input order.
+    const bool flatten_ok = spec.in_height == 1 && spec.in_width == 1 &&
+                            prev.numel() == expect.numel();
+    TINCY_CHECK_MSG(prev == expect || flatten_ok,
+                    "layer input " << expect.to_string()
+                                   << " does not chain from "
+                                   << prev.to_string());
+    TINCY_CHECK_MSG(layers_.back().spec.act_bits_out == spec.act_bits_in,
+                    "activation precision mismatch between chained layers");
+    TINCY_CHECK_MSG(layers_.back().spec.bipolar == spec.bipolar,
+                    "activation encoding mismatch between chained layers");
+  }
+  if (spec.bipolar)
+    TINCY_CHECK_MSG(spec.pad == 0, "bipolar conv cannot zero-pad");
+  layers_.push_back(Stage{spec,
+                          Mvtu(std::move(weights), std::move(thresholds),
+                               spec.act_bits_in,
+                               spec.bipolar ? ActEncoding::kBipolar
+                                            : ActEncoding::kUnsigned),
+                          SlidingWindowUnit(g)});
+}
+
+const QnnLayerSpec& QnnAccelerator::spec(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  return layers_[static_cast<size_t>(i)].spec;
+}
+
+const Mvtu& QnnAccelerator::mvtu(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  return layers_[static_cast<size_t>(i)].mvtu;
+}
+
+Shape QnnAccelerator::input_shape() const {
+  TINCY_CHECK(!layers_.empty());
+  const auto& s = layers_.front().spec;
+  return Shape{s.in_channels, s.in_height, s.in_width};
+}
+
+Shape QnnAccelerator::output_shape() const {
+  TINCY_CHECK(!layers_.empty());
+  return layers_.back().spec.output_shape();
+}
+
+std::vector<uint8_t> QnnAccelerator::forward_codes(
+    const std::vector<uint8_t>& input) const {
+  TINCY_CHECK(!layers_.empty());
+  TINCY_CHECK(static_cast<int64_t>(input.size()) == input_shape().numel());
+
+  std::vector<uint8_t> current = input;
+  for (const Stage& stage : layers_) {
+    const auto& s = stage.spec;
+    const int64_t n = stage.swu.num_columns();
+    const int64_t rows = stage.mvtu.rows();
+    const int64_t conv_h = s.conv_out_height(), conv_w = s.conv_out_width();
+
+    // Layer-at-a-time: the full conv output is produced before pooling and
+    // before the next layer starts (no cross-layer concurrency).
+    std::vector<uint8_t> column(static_cast<size_t>(stage.swu.column_size()));
+    std::vector<uint8_t> out_col(static_cast<size_t>(rows));
+    std::vector<uint8_t> conv_out(static_cast<size_t>(rows * n));
+    for (int64_t j = 0; j < n; ++j) {
+      stage.swu.emit_column(current, j, column);
+      stage.mvtu.compute(column, out_col);
+      for (int64_t r = 0; r < rows; ++r)
+        conv_out[static_cast<size_t>(r * n + j)] =
+            out_col[static_cast<size_t>(r)];
+    }
+
+    if (s.pool_after) {
+      const PoolSpec p{rows, conv_h, conv_w, s.pool_size, s.pool_stride};
+      std::vector<uint8_t> pooled(
+          static_cast<size_t>(rows * p.out_height() * p.out_width()));
+      max_pool_codes(p, conv_out, pooled);
+      current = std::move(pooled);
+    } else {
+      current = std::move(conv_out);
+    }
+  }
+  return current;
+}
+
+Tensor QnnAccelerator::forward(const Tensor& input) const {
+  TINCY_CHECK(!layers_.empty());
+  // Element count must match; the exact shape may be any flattening (an
+  // FC front layer views a CHW map as one long channel vector).
+  TINCY_CHECK_MSG(input.numel() == input_shape().numel(),
+                  input.shape().to_string() << " vs "
+                                            << input_shape().to_string());
+  const auto& first = layers_.front().spec;
+  const auto& last = layers_.back().spec;
+
+  std::vector<uint8_t> codes(static_cast<size_t>(input.numel()));
+  if (first.bipolar) {
+    const quant::BipolarActQuant in_q{first.in_scale};
+    for (int64_t i = 0; i < input.numel(); ++i)
+      codes[static_cast<size_t>(i)] = in_q.quantize(input[i]);
+  } else {
+    const quant::UniformActQuant in_q{first.act_bits_in, first.in_scale};
+    for (int64_t i = 0; i < input.numel(); ++i)
+      codes[static_cast<size_t>(i)] = in_q.quantize(input[i]);
+  }
+
+  const std::vector<uint8_t> out_codes = forward_codes(codes);
+
+  Tensor out(output_shape());
+  if (last.bipolar) {
+    const quant::BipolarActQuant out_q{last.out_scale};
+    for (int64_t i = 0; i < out.numel(); ++i)
+      out[i] = out_q.dequantize(out_codes[static_cast<size_t>(i)]);
+  } else {
+    const quant::UniformActQuant out_q{last.act_bits_out, last.out_scale};
+    for (int64_t i = 0; i < out.numel(); ++i)
+      out[i] = out_q.dequantize(out_codes[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+LayerPerf QnnAccelerator::layer_perf(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  const Stage& stage = layers_[static_cast<size_t>(i)];
+  const auto& s = stage.spec;
+  const int64_t n = stage.swu.num_columns();
+
+  LayerPerf p;
+  p.compute_cycles = stage.mvtu.cycles_per_column(model_.folding) * n;
+  // Layer-at-a-time execution streams this layer's weights from DDR.
+  const int64_t weight_bits = stage.mvtu.rows() * stage.mvtu.cols();
+  p.weight_dma_cycles = static_cast<int64_t>(
+      std::ceil(static_cast<double>(weight_bits) / model_.ddr_bits_per_cycle));
+  // Input and output feature maps also cross DDR between invocations.
+  const int64_t in_bits =
+      s.in_channels * s.in_height * s.in_width * s.act_bits_in;
+  const int64_t out_bits = s.output_shape().numel() * s.act_bits_out;
+  p.fmap_dma_cycles = static_cast<int64_t>(std::ceil(
+      static_cast<double>(in_bits + out_bits) / model_.ddr_bits_per_cycle));
+  p.overhead_cycles = model_.invocation_overhead_cycles;
+  if (s.pool_after) {
+    const PoolSpec ps{s.filters, s.conv_out_height(), s.conv_out_width(),
+                      s.pool_size, s.pool_stride};
+    p.pool_cycles = pool_cycles(ps, model_.folding.pe);
+  }
+  return p;
+}
+
+double QnnAccelerator::total_ms() const {
+  int64_t cycles = 0;
+  for (int64_t i = 0; i < num_layers(); ++i)
+    cycles += layer_perf(i).total_cycles();
+  return static_cast<double>(cycles) / (model_.clock_mhz * 1e3);
+}
+
+Resources QnnAccelerator::engine_resources() const {
+  EngineSpec spec;
+  spec.folding = model_.folding;
+  int64_t max_depth = 1, max_rows = 1, max_weight_bits = 1;
+  int act_bits = 1;
+  for (const Stage& stage : layers_) {
+    max_depth = std::max(max_depth, stage.mvtu.cols());
+    max_rows = std::max(max_rows, stage.mvtu.rows());
+    max_weight_bits =
+        std::max(max_weight_bits, stage.mvtu.rows() * stage.mvtu.cols());
+    act_bits = std::max(act_bits, stage.spec.act_bits_in);
+  }
+  spec.max_depth = max_depth;
+  spec.max_rows = max_rows;
+  spec.weight_bits_on_chip = max_weight_bits;
+  spec.act_bits = act_bits;
+  return estimate_engine(spec);
+}
+
+int64_t QnnAccelerator::engines_fitting() const {
+  const Resources one = engine_resources();
+  int64_t n = 0;
+  Resources total;
+  while (true) {
+    Resources next = total;
+    next += one;
+    if (!fits(next, device_)) break;
+    total = next;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace tincy::fabric

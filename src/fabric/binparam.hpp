@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file binparam.hpp
+/// On-disk parameter store of the accelerator — the `binparam-…/` directory
+/// referenced by the paper's `[offload]` cfg (Fig. 4). Each stage stores a
+/// small text descriptor, its bit-packed ±1 weights and the integer
+/// threshold tables derived from the trained bias/batch-norm parameters.
+
+#include <string>
+#include <vector>
+
+#include "fabric/accelerator.hpp"
+
+namespace tincy::fabric {
+
+/// Everything needed to reconstruct one accelerator stage.
+struct BinparamLayer {
+  QnnLayerSpec spec;
+  quant::BinaryMatrix weights;
+  std::vector<ThresholdChannel> thresholds;
+};
+
+/// Writes the stages into `dir` (created if missing): per stage,
+/// `layerNN.meta`, `layerNN.weights.bin`, `layerNN.thresh.bin`.
+void save_binparams(const std::string& dir,
+                    const std::vector<BinparamLayer>& layers);
+
+/// Reads all stages back in index order; throws on malformed contents.
+std::vector<BinparamLayer> load_binparams(const std::string& dir);
+
+/// Builds an accelerator from a binparam directory.
+QnnAccelerator load_accelerator(const std::string& dir, CycleModel model = {},
+                                Device device = {});
+
+}  // namespace tincy::fabric

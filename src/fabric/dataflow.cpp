@@ -1,0 +1,97 @@
+#include "fabric/dataflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/errors.hpp"
+
+namespace tincy::fabric {
+namespace {
+
+int64_t stage_cycles(const DataflowStagePlan& s) {
+  const auto g = s.spec.conv_geometry();
+  return fold_cycles_per_layer({s.spec.filters, g.patch_size()}, s.folding,
+                               s.spec.act_bits_in, g.num_patches());
+}
+
+Resources stage_resources(const DataflowStagePlan& s) {
+  const auto g = s.spec.conv_geometry();
+  EngineSpec engine;
+  engine.folding = s.folding;
+  engine.act_bits = s.spec.act_bits_in;
+  engine.max_rows = s.spec.filters;
+  engine.max_depth = g.patch_size();
+  engine.weight_bits_on_chip = s.spec.filters * g.patch_size();
+  engine.include_shell = false;  // the dataflow chain shares one shell
+  engine.needs_swu = s.spec.kernel > 1;  // FC stages stream directly
+  engine.needs_pool = s.spec.pool_after;
+  return estimate_engine(engine);
+}
+
+}  // namespace
+
+DataflowReport evaluate_dataflow(const std::vector<DataflowStagePlan>& stages,
+                                 const Device& device, double clock_mhz) {
+  TINCY_CHECK_MSG(!stages.empty(), "empty dataflow plan");
+  DataflowReport report;
+  for (const auto& s : stages) {
+    const int64_t cycles = stage_cycles(s);
+    report.initiation_interval_cycles =
+        std::max(report.initiation_interval_cycles, cycles);
+    report.latency_cycles += cycles;
+    report.total_resources += stage_resources(s);
+  }
+  // One shared shell for the whole chain.
+  report.total_resources.luts += 7000;
+  report.total_resources.ffs += 14000;
+  report.throughput_fps =
+      clock_mhz * 1e6 /
+      static_cast<double>(report.initiation_interval_cycles);
+  report.latency_ms =
+      static_cast<double>(report.latency_cycles) / (clock_mhz * 1e3);
+  report.fits_device = fits(report.total_resources, device);
+  return report;
+}
+
+std::vector<DataflowStagePlan> uniform_plan(const std::vector<QnnLayerSpec>& specs,
+                                            Folding folding) {
+  std::vector<DataflowStagePlan> plan;
+  for (const auto& spec : specs) plan.push_back({spec, folding});
+  return plan;
+}
+
+std::vector<DataflowStagePlan> balanced_plan(const std::vector<QnnLayerSpec>& specs,
+                                             int64_t lane_budget) {
+  TINCY_CHECK_MSG(lane_budget >= static_cast<int64_t>(specs.size()),
+                  "budget below one lane per stage");
+  // Work per stage in lane-cycles; allocate lanes proportionally, rounded
+  // to sane PE/SIMD splits, then clamp to the matrix extents.
+  std::vector<double> work;
+  double total_work = 0.0;
+  for (const auto& s : specs) {
+    const auto g = s.conv_geometry();
+    const double w = static_cast<double>(s.filters) *
+                     static_cast<double>(g.patch_size()) *
+                     static_cast<double>(g.num_patches()) * s.act_bits_in;
+    work.push_back(w);
+    total_work += w;
+  }
+
+  std::vector<DataflowStagePlan> plan;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const auto& s = specs[i];
+    const auto g = s.conv_geometry();
+    const double share = work[i] / total_work;
+    auto lanes = static_cast<int64_t>(
+        std::max(1.0, std::round(share * static_cast<double>(lane_budget))));
+    // Split lanes into PE×SIMD: SIMD along the patch (≤ patch size, power
+    // of two-ish), PE along the filters.
+    int64_t simd = std::min<int64_t>(g.patch_size(), 36);
+    int64_t pe = std::max<int64_t>(1, lanes / simd);
+    pe = std::min(pe, s.filters);
+    plan.push_back({s, Folding{pe, simd}});
+  }
+  return plan;
+}
+
+}  // namespace tincy::fabric

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file dataflow.hpp
+/// Dataflow execution model: every layer as its own engine, all resident
+/// simultaneously, streaming activations layer to layer.
+///
+/// The paper contrasts the two FINN execution styles: "the fully binarized
+/// 4-layer MLP and 6-layer CNN lent themselves to an implementation of the
+/// inference engine with all layers residing one after the other in a
+/// dataflow pipeline, this option quickly fails on resource constraints
+/// for Tincy YOLO" (§III-A). This model quantifies both sides: the
+/// throughput a dataflow pipeline would reach (initiation interval = the
+/// slowest stage) and the resources it would require (sum of per-layer
+/// engines) — which is exactly what overflows the XCZU3EG for Tincy YOLO
+/// and forces the layer-at-a-time single engine.
+
+#include <vector>
+
+#include "fabric/accelerator.hpp"
+#include "fabric/resource_model.hpp"
+
+namespace tincy::fabric {
+
+/// Per-layer folding assignment for a dataflow build (one engine each).
+struct DataflowStagePlan {
+  QnnLayerSpec spec;
+  Folding folding;
+};
+
+struct DataflowReport {
+  /// Compute cycles of the slowest stage = initiation interval per frame.
+  int64_t initiation_interval_cycles = 0;
+  /// Latency of one frame through all stages (sum of stage cycles).
+  int64_t latency_cycles = 0;
+  double throughput_fps = 0.0;
+  double latency_ms = 0.0;
+  Resources total_resources;  ///< all engines together, weights resident
+  bool fits_device = false;
+};
+
+/// Evaluates a dataflow build of the given stages on `device` at
+/// `clock_mhz`. Weights of every layer count as resident (dataflow engines
+/// cannot reload weights per frame).
+DataflowReport evaluate_dataflow(const std::vector<DataflowStagePlan>& stages,
+                                 const Device& device, double clock_mhz);
+
+/// Convenience: a uniform-folding plan (each stage gets the same PE×SIMD
+/// array).
+std::vector<DataflowStagePlan> uniform_plan(const std::vector<QnnLayerSpec>& specs,
+                                            Folding folding);
+
+/// Balanced plan: scales each stage's folding toward equal cycle counts
+/// (the standard FINN rate-balancing), within per-stage bounds. `budget`
+/// caps the total number of lanes (PE·SIMD summed over stages).
+std::vector<DataflowStagePlan> balanced_plan(const std::vector<QnnLayerSpec>& specs,
+                                             int64_t lane_budget);
+
+}  // namespace tincy::fabric

@@ -1,0 +1,24 @@
+#include "fabric/folding.hpp"
+
+namespace tincy::fabric {
+namespace {
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+int64_t fold_cycles_per_vector(const MatrixShape& m, const Folding& f,
+                               int act_bits) {
+  TINCY_CHECK_MSG(m.rows > 0 && m.cols > 0, "empty matrix");
+  TINCY_CHECK_MSG(f.pe > 0 && f.simd > 0, "degenerate folding");
+  TINCY_CHECK_MSG(act_bits >= 1, "act_bits " << act_bits);
+  return ceil_div(m.rows, f.pe) * ceil_div(m.cols, f.simd) * act_bits;
+}
+
+int64_t fold_cycles_per_layer(const MatrixShape& m, const Folding& f,
+                              int act_bits, int64_t num_vectors) {
+  TINCY_CHECK_MSG(num_vectors > 0, "num_vectors " << num_vectors);
+  return fold_cycles_per_vector(m, f, act_bits) * num_vectors;
+}
+
+}  // namespace tincy::fabric

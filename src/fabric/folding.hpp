@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file folding.hpp
+/// PE/SIMD folding of the FINN matrix–vector–threshold unit.
+///
+/// An MVTU instance has PE processing elements, each consuming SIMD
+/// weight/activation pairs per cycle. A weight matrix of H rows (output
+/// channels) and W columns (dot-product depth) is folded onto the array:
+/// each output vector takes ceil(H/PE) · ceil(W/SIMD) cycles per
+/// activation bit-plane. Folding trades fabric resources for cycles —
+/// the knob that decides what fits into the XCZU3EG.
+
+#include <cstdint>
+
+#include "core/errors.hpp"
+
+namespace tincy::fabric {
+
+/// Array geometry of one MVTU.
+struct Folding {
+  int64_t pe = 32;    ///< processing elements (output-channel parallelism)
+  int64_t simd = 36;  ///< lanes per PE (input parallelism)
+};
+
+/// Matrix-level work description of one layer mapped on the MVTU.
+struct MatrixShape {
+  int64_t rows = 0;  ///< output channels
+  int64_t cols = 0;  ///< dot-product depth (C·K²)
+};
+
+/// Cycles to produce ONE output vector (all rows) for one input column:
+/// ceil(rows/pe) · ceil(cols/simd) · act_bits (bit-serial activations).
+int64_t fold_cycles_per_vector(const MatrixShape& m, const Folding& f,
+                               int act_bits);
+
+/// Cycles for a full layer: per-vector cost times the number of kernel
+/// applications (output pixels).
+int64_t fold_cycles_per_layer(const MatrixShape& m, const Folding& f,
+                              int act_bits, int64_t num_vectors);
+
+}  // namespace tincy::fabric

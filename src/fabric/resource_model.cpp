@@ -1,0 +1,67 @@
+#include "fabric/resource_model.hpp"
+
+namespace tincy::fabric {
+
+Resources& Resources::operator+=(const Resources& o) {
+  luts += o.luts;
+  ffs += o.ffs;
+  bram36 += o.bram36;
+  dsp += o.dsp;
+  return *this;
+}
+
+Resources estimate_engine(const EngineSpec& spec) {
+  // First-order coefficients (documented in DESIGN.md):
+  //  * one XNOR+popcount lane over `act_bits` bit-serial planes: the lane
+  //    datapath (XNOR, compressor slice, accumulator slice) ~ 6 LUTs;
+  //  * per-PE threshold unit: (2^A − 1) comparators at ~16 LUTs each plus
+  //    accumulator and control ~ 48 LUTs;
+  //  * sliding window unit + stream plumbing ~ 4,000 LUTs;
+  //  * max-pool unit ~ 1,500 LUTs;
+  //  * control/AXI/DMA shell ~ 7,000 LUTs (shared infrastructure).
+  const int64_t lanes = spec.folding.pe * spec.folding.simd;
+  const int64_t levels = (1 << spec.act_bits) - 1;
+
+  Resources r;
+  r.luts = lanes * 6                               // MAC lanes
+           + spec.folding.pe * (levels * 16 + 48); // threshold units
+  if (spec.needs_swu) r.luts += 4000;          // sliding window unit
+  if (spec.needs_pool) r.luts += 1500;         // pool unit
+  if (spec.include_shell) r.luts += 7000;      // shared control/AXI/DMA shell
+  r.ffs = 2 * r.luts;  // pipelined datapaths: ~2 FFs per LUT
+  // Weight + activation buffering: weights resident for the largest layer
+  // plus double-buffered line buffers. BRAM36 = 36 Kib.
+  const int64_t weight_bits =
+      spec.weight_bits_on_chip > 0 ? spec.weight_bits_on_chip
+                                   : spec.max_rows * spec.max_depth;
+  const int64_t buffer_bits =
+      2 * spec.max_depth * spec.act_bits * 64;  // folded activation buffers
+  r.bram36 = (weight_bits + buffer_bits + (36 * 1024 - 1)) / (36 * 1024);
+  r.dsp = 0;  // XNOR-popcount datapaths need no DSP slices
+  return r;
+}
+
+bool fits(const Resources& r, const Device& d, double utilization_cap) {
+  const auto cap = [utilization_cap](int64_t budget) {
+    return static_cast<int64_t>(utilization_cap * static_cast<double>(budget));
+  };
+  return r.luts <= cap(d.luts) && r.ffs <= cap(d.ffs) &&
+         r.bram36 <= cap(d.bram36) && r.dsp <= cap(d.dsp);
+}
+
+int64_t max_engines(const EngineSpec& spec, const Device& d,
+                    double utilization_cap) {
+  const Resources one = estimate_engine(spec);
+  int64_t n = 0;
+  Resources total;
+  while (true) {
+    Resources next = total;
+    next += one;
+    if (!fits(next, d, utilization_cap)) break;
+    total = next;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace tincy::fabric

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file resource_model.hpp
+/// First-order FPGA resource model of the accelerator on a Zynq
+/// UltraScale+ XCZU3EG. The model's purpose is the paper's architectural
+/// constraint: "only a single generalized convolutional layer together
+/// with its subsequent pooling layer would fit into the available fabric",
+/// forcing layer-at-a-time execution. Coefficients are first-order
+/// per-lane/per-comparator LUT costs in the spirit of FINN's cost model;
+/// they are documented constants, not synthesis results.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/folding.hpp"
+
+namespace tincy::fabric {
+
+/// Device budget (XCZU3EG: 70,560 LUTs, 141,120 FFs, 216 BRAM36, 360 DSPs).
+struct Device {
+  std::string name = "XCZU3EG";
+  int64_t luts = 70560;
+  int64_t ffs = 141120;
+  int64_t bram36 = 216;
+  int64_t dsp = 360;
+};
+
+/// Estimated resource usage of a configuration.
+struct Resources {
+  int64_t luts = 0;
+  int64_t ffs = 0;
+  int64_t bram36 = 0;
+  int64_t dsp = 0;
+
+  Resources& operator+=(const Resources& o);
+};
+
+/// What must live on the fabric for one generalized conv+pool engine.
+struct EngineSpec {
+  Folding folding;
+  int act_bits = 3;          ///< activation precision of the datapath
+  int64_t max_depth = 9216;  ///< largest supported dot-product depth (C·K²)
+  int64_t max_rows = 1024;   ///< largest supported output-channel count
+  int64_t weight_bits_on_chip = 0;  ///< weights resident in BRAM (bits)
+  /// Include the shared control/AXI/DMA shell in the estimate. A dataflow
+  /// build instantiates the shell once and chains engines without it.
+  bool include_shell = true;
+  /// Sliding-window unit (line buffers): needed for K>1 convolutions; FC
+  /// stages (K=1 over 1×1 maps) stream directly.
+  bool needs_swu = true;
+  /// Max-pool unit: only for stages with a fused pool.
+  bool needs_pool = true;
+};
+
+/// LUT/FF/BRAM estimate of one MVTU-based conv+pool engine.
+Resources estimate_engine(const EngineSpec& spec);
+
+/// True if the estimate fits the device with the given utilization cap
+/// (routable designs rarely exceed ~70-85 % LUT utilization).
+bool fits(const Resources& r, const Device& d, double utilization_cap = 0.85);
+
+/// Convenience report: how many independent engines of this spec the
+/// device could host — 1 for the paper's configuration, which is exactly
+/// why the layers must time-share a single accelerator.
+int64_t max_engines(const EngineSpec& spec, const Device& d,
+                    double utilization_cap = 0.85);
+
+}  // namespace tincy::fabric

@@ -1,0 +1,47 @@
+#include "fabric/ternary_mvtu.hpp"
+
+#include "core/errors.hpp"
+#include "quant/thresholds.hpp"
+
+namespace tincy::fabric {
+
+TernaryMvtu::TernaryMvtu(quant::TernaryMatrix weights,
+                         std::vector<ThresholdChannel> thresholds,
+                         int act_bits_in)
+    : weights_(std::move(weights)),
+      thresholds_(std::move(thresholds)),
+      act_bits_in_(act_bits_in) {
+  TINCY_CHECK_MSG(static_cast<int64_t>(thresholds_.size()) == weights_.rows,
+                  thresholds_.size() << " thresholds for " << weights_.rows
+                                     << " rows");
+  TINCY_CHECK_MSG(act_bits_in >= 1 && act_bits_in <= 8,
+                  "act_bits " << act_bits_in);
+}
+
+void TernaryMvtu::accumulate(std::span<const uint8_t> column,
+                             std::span<int32_t> acc) const {
+  TINCY_CHECK(static_cast<int64_t>(column.size()) == cols());
+  TINCY_CHECK(static_cast<int64_t>(acc.size()) == rows());
+  const std::vector<BitVector> planes =
+      quant::to_bitplanes(column.data(), cols(), act_bits_in_);
+  for (int64_t r = 0; r < rows(); ++r) {
+    int64_t sum = 0;
+    for (int b = 0; b < act_bits_in_; ++b)
+      sum += static_cast<int64_t>(quant::dot_bitplane(
+                 weights_, r, planes[static_cast<size_t>(b)]))
+             << b;
+    acc[static_cast<size_t>(r)] = static_cast<int32_t>(sum);
+  }
+}
+
+void TernaryMvtu::compute(std::span<const uint8_t> column,
+                          std::span<uint8_t> out) const {
+  TINCY_CHECK(static_cast<int64_t>(out.size()) == rows());
+  std::vector<int32_t> acc(static_cast<size_t>(rows()));
+  accumulate(column, acc);
+  for (int64_t r = 0; r < rows(); ++r)
+    out[static_cast<size_t>(r)] =
+        thresholds_[static_cast<size_t>(r)].apply(acc[static_cast<size_t>(r)]);
+}
+
+}  // namespace tincy::fabric

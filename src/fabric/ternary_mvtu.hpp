@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file ternary_mvtu.hpp
+/// Matrix–vector–threshold unit for ternary ({−1, 0, +1}) weights — the
+/// "smallest possible retreat" from full binarization the paper's related
+/// work discusses (Li et al.; Alemdar / Prost-Boucle et al. on FPGAs).
+/// The datapath stores two bit-planes per weight row (nonzero mask and
+/// sign) and computes the dot product with two masked popcounts per
+/// activation plane; zero weights contribute nothing, which is also what
+/// makes ternary engines cheaper per effective operation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/folding.hpp"
+#include "fabric/mvtu.hpp"
+#include "quant/ternary.hpp"
+
+namespace tincy::fabric {
+
+class TernaryMvtu {
+ public:
+  TernaryMvtu(quant::TernaryMatrix weights,
+              std::vector<ThresholdChannel> thresholds, int act_bits_in);
+
+  int64_t rows() const { return weights_.rows; }
+  int64_t cols() const { return weights_.cols; }
+  int act_bits_in() const { return act_bits_in_; }
+
+  /// Raw accumulators for one input column of A-bit codes.
+  void accumulate(std::span<const uint8_t> column,
+                  std::span<int32_t> acc) const;
+
+  /// Thresholded output codes for one input column.
+  void compute(std::span<const uint8_t> column, std::span<uint8_t> out) const;
+
+  /// Cycle cost per column — identical folding to the binary MVTU (the
+  /// second weight plane rides along in the same cycle).
+  int64_t cycles_per_column(const Folding& f) const {
+    return fold_cycles_per_vector({rows(), cols()}, f, act_bits_in_);
+  }
+
+  const quant::TernaryMatrix& weights() const { return weights_; }
+
+ private:
+  quant::TernaryMatrix weights_;
+  std::vector<ThresholdChannel> thresholds_;
+  int act_bits_in_;
+};
+
+}  // namespace tincy::fabric

@@ -1,0 +1,160 @@
+#include "gemm/gemm_lowp.hpp"
+
+#include <vector>
+
+#include "simd/vec.hpp"
+
+namespace tincy::gemm {
+
+void gemm_lowp_i32(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                   int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                   int32_t* C) {
+  for (int64_t i = 0; i < M; ++i) {
+    for (int64_t j = 0; j < N; ++j) {
+      int32_t acc = 0;
+      for (int64_t k = 0; k < K; ++k) {
+        const int32_t a = static_cast<int32_t>(A[i * K + k]) - lhs_zero;
+        const int32_t b = static_cast<int32_t>(B[k * N + j]) - rhs_zero;
+        acc += a * b;
+      }
+      C[i * N + j] = acc;
+    }
+  }
+}
+
+void gemm_lowp_i32_lanes(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                         int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                         int32_t* C) {
+  using namespace simd;
+  // Process 8 output columns per step: widen both operands to i16 lanes,
+  // VMULL.S16 into i32x4 halves, accumulate.
+  const int64_t n8 = N - (N % 8);
+  const I16x8 vzb = I16x8::splat(static_cast<int16_t>(rhs_zero));
+  for (int64_t i = 0; i < M; ++i) {
+    for (int64_t j = 0; j < n8; j += 8) {
+      I32x4 acc_lo = I32x4::splat(0), acc_hi = I32x4::splat(0);
+      for (int64_t k = 0; k < K; ++k) {
+        const int16_t a16 =
+            static_cast<int16_t>(static_cast<int32_t>(A[i * K + k]) - lhs_zero);
+        // Load 8 consecutive B codes of this row, widen, center.
+        U8x16 braw{};
+        for (int l = 0; l < 8; ++l) braw.lane[l] = B[k * N + j + l];
+        const I16x8 b16 = sub(widen_low(braw), vzb);
+        const auto [b_lo, b_hi] = split(b16);
+        acc_lo = add(acc_lo, widening_mul(I16x4::splat(a16), b_lo));
+        acc_hi = add(acc_hi, widening_mul(I16x4::splat(a16), b_hi));
+      }
+      acc_lo.store(C + i * N + j);
+      acc_hi.store(C + i * N + j + 4);
+    }
+    for (int64_t j = n8; j < N; ++j) {
+      int32_t acc = 0;
+      for (int64_t k = 0; k < K; ++k)
+        acc += (static_cast<int32_t>(A[i * K + k]) - lhs_zero) *
+               (static_cast<int32_t>(B[k * N + j]) - rhs_zero);
+      C[i * N + j] = acc;
+    }
+  }
+}
+
+void gemm_lowp_u8(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                  int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                  const quant::Requantizer& requant, uint8_t* C) {
+  std::vector<int32_t> acc(static_cast<size_t>(N));
+  for (int64_t i = 0; i < M; ++i) {
+    gemm_lowp_i32(1, N, K, A + i * K, lhs_zero, B, rhs_zero, acc.data());
+    for (int64_t j = 0; j < N; ++j) C[i * N + j] = requant.apply(acc[j]);
+  }
+}
+
+void conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                      const quant::AffineParams& input_params,
+                      const uint8_t* weights,
+                      const quant::AffineParams& weight_params,
+                      int64_t out_channels, const float* bias, float* out) {
+  const int64_t patch = g.patch_size(), n = g.num_patches();
+  // Quantize the image while arranging the multiplicand (paper §III-D):
+  // quantize once, then im2col over codes with the zero-point as padding.
+  std::vector<uint8_t> qimage(
+      static_cast<size_t>(g.in_channels * g.in_height * g.in_width));
+  for (size_t i = 0; i < qimage.size(); ++i)
+    qimage[i] = input_params.quantize(image[i]);
+
+  std::vector<uint8_t> columns(static_cast<size_t>(patch * n));
+  im2col(qimage.data(), g, columns.data(),
+         static_cast<uint8_t>(input_params.zero_point));
+
+  std::vector<int32_t> acc(static_cast<size_t>(n));
+  const float real_scale = input_params.scale * weight_params.scale;
+  for (int64_t m = 0; m < out_channels; ++m) {
+    gemm_lowp_i32(1, n, patch, weights + m * patch, weight_params.zero_point,
+                  columns.data(), input_params.zero_point, acc.data());
+    const float b = bias ? bias[m] : 0.0f;
+    for (int64_t j = 0; j < n; ++j)
+      out[m * n + j] = real_scale * static_cast<float>(acc[j]) + b;
+  }
+}
+
+namespace {
+
+void im2col_strip_u8(const uint8_t* image, const ConvGeometry& g,
+                     int64_t col0, int64_t width, uint8_t pad_value,
+                     uint8_t* strip) {
+  const int64_t out_w = g.out_width();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    const uint8_t* plane = image + c * g.in_height * g.in_width;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        uint8_t* out_row = strip + row * width;
+        for (int64_t j = 0; j < width; ++j) {
+          const int64_t patch = col0 + j;
+          const int64_t oh = patch / out_w, ow = patch % out_w;
+          const int64_t ih = oh * g.stride - g.pad + kh;
+          const int64_t iw = ow * g.stride - g.pad + kw;
+          out_row[j] = (ih < 0 || ih >= g.in_height || iw < 0 ||
+                        iw >= g.in_width)
+                           ? pad_value
+                           : plane[ih * g.in_width + iw];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                            const quant::AffineParams& input_params,
+                            const uint8_t* weights,
+                            const quant::AffineParams& weight_params,
+                            int64_t out_channels, const float* bias,
+                            float* out) {
+  constexpr int64_t kStrip = 8;  // eight 16-bit lanes, as on NEON
+  const int64_t patch = g.patch_size(), n = g.num_patches();
+  std::vector<uint8_t> qimage(
+      static_cast<size_t>(g.in_channels * g.in_height * g.in_width));
+  for (size_t i = 0; i < qimage.size(); ++i)
+    qimage[i] = input_params.quantize(image[i]);
+
+  std::vector<uint8_t> strip(static_cast<size_t>(patch * kStrip));
+  std::vector<int32_t> acc(static_cast<size_t>(kStrip));
+  const float real_scale = input_params.scale * weight_params.scale;
+  const auto pad = static_cast<uint8_t>(input_params.zero_point);
+
+  for (int64_t col0 = 0; col0 < n; col0 += kStrip) {
+    const int64_t width = std::min<int64_t>(kStrip, n - col0);
+    im2col_strip_u8(qimage.data(), g, col0, width, pad, strip.data());
+    for (int64_t m = 0; m < out_channels; ++m) {
+      gemm_lowp_i32(1, width, patch, weights + m * patch,
+                    weight_params.zero_point, strip.data(),
+                    input_params.zero_point, acc.data());
+      const float b = bias ? bias[m] : 0.0f;
+      for (int64_t j = 0; j < width; ++j)
+        out[m * n + col0 + j] =
+            real_scale * static_cast<float>(acc[static_cast<size_t>(j)]) + b;
+    }
+  }
+}
+
+}  // namespace tincy::gemm

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file gemm_lowp.hpp
+/// Self-contained low-precision GEMM with the gemmlowp contract the paper's
+/// 8-bit NEON path builds on: uint8 operands with zero-point offsets,
+/// int32 accumulation, and an optional integer requantization pipeline
+/// producing uint8 output.
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+#include "gemm/im2col.hpp"
+#include "quant/affine.hpp"
+
+namespace tincy::gemm {
+
+/// C_i32 (M×N) = Σ_k (A[i,k] − lhs_zero) · (B[k,j] − rhs_zero); plain
+/// scalar reference form.
+void gemm_lowp_i32(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                   int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                   int32_t* C);
+
+/// Lane-vectorized variant using the NEON idiom VMULL.S16 + VPADAL /
+/// accumulate-long over 8 widened lanes; bit-identical to gemm_lowp_i32.
+void gemm_lowp_i32_lanes(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                         int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                         int32_t* C);
+
+/// Full quantized GEMM: int32 accumulation followed by the requantization
+/// pipeline into uint8 output codes.
+void gemm_lowp_u8(int64_t M, int64_t N, int64_t K, const uint8_t* A,
+                  int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
+                  const quant::Requantizer& requant, uint8_t* C);
+
+/// Quantized convolution in the paper's §III-D style: im2col quantizes the
+/// image data "while arranging the multiplicand matrix", then a lowp GEMM
+/// produces int32 accumulators which are dequantized to float output (the
+/// form the surrounding float network consumes). `weights` are uint8 codes
+/// with `weight_params`; `bias` (length out_channels, may be null) is added
+/// in real space.
+void conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                      const quant::AffineParams& input_params,
+                      const uint8_t* weights,
+                      const quant::AffineParams& weight_params,
+                      int64_t out_channels, const float* bias, float* out);
+
+/// Fused sliced variant of conv_lowp_f32out (strip im2col, immediate GEMM).
+void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                            const quant::AffineParams& input_params,
+                            const uint8_t* weights,
+                            const quant::AffineParams& weight_params,
+                            int64_t out_channels, const float* bias,
+                            float* out);
+
+}  // namespace tincy::gemm

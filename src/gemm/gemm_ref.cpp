@@ -1,0 +1,33 @@
+#include "gemm/gemm_ref.hpp"
+
+namespace tincy::gemm {
+
+void gemm_ref(int64_t M, int64_t N, int64_t K, const float* A, const float* B,
+              float* C, float beta) {
+  for (int64_t i = 0; i < M; ++i) {
+    float* c_row = C + i * N;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < N; ++j) c_row[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < N; ++j) c_row[j] *= beta;
+    }
+    for (int64_t k = 0; k < K; ++k) {
+      const float a = A[i * K + k];
+      const float* b_row = B + k * N;
+      for (int64_t j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+Tensor gemm_ref(const Tensor& A, const Tensor& B) {
+  TINCY_CHECK(A.shape().rank() == 2 && B.shape().rank() == 2);
+  const int64_t M = A.shape().dim(0), K = A.shape().dim(1);
+  TINCY_CHECK_MSG(B.shape().dim(0) == K, A.shape().to_string() << " x "
+                                                               << B.shape().to_string());
+  const int64_t N = B.shape().dim(1);
+  Tensor C(Shape{M, N});
+  gemm_ref(M, N, K, A.data(), B.data(), C.data(), 0.0f);
+  return C;
+}
+
+}  // namespace tincy::gemm

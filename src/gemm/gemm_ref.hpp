@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file gemm_ref.hpp
+/// Straightforward reference GEMM — the "valuable reference implementation"
+/// role Darknet's generic C path plays in the paper (§III-D). All optimized
+/// kernels are validated against this.
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace tincy::gemm {
+
+/// C (M×N) += A (M×K) · B (K×N), all row-major float. `beta` scales the
+/// existing C first (0 overwrites, 1 accumulates) — the two cases layers
+/// actually need.
+void gemm_ref(int64_t M, int64_t N, int64_t K, const float* A, const float* B,
+              float* C, float beta = 0.0f);
+
+/// Convenience wrapper on tensors; shapes must be rank-2 and conformant.
+Tensor gemm_ref(const Tensor& A, const Tensor& B);
+
+}  // namespace tincy::gemm

@@ -1,0 +1,137 @@
+#include "gemm/gemm_simd.hpp"
+
+#include <vector>
+
+#include "gemm/gemm_ref.hpp"
+#include "simd/vec.hpp"
+
+namespace tincy::gemm {
+
+using simd::F32x4;
+
+void gemm_f32_lanes(int64_t M, int64_t N, int64_t K, const float* A,
+                    const float* B, float* C) {
+  const int64_t n4 = N - (N % 4);
+  for (int64_t i = 0; i < M; ++i) {
+    float* c_row = C + i * N;
+    for (int64_t j = 0; j < n4; j += 4) F32x4::splat(0.0f).store(c_row + j);
+    for (int64_t j = n4; j < N; ++j) c_row[j] = 0.0f;
+    for (int64_t k = 0; k < K; ++k) {
+      const F32x4 a = F32x4::splat(A[i * K + k]);
+      const float* b_row = B + k * N;
+      for (int64_t j = 0; j < n4; j += 4) {
+        const F32x4 acc = simd::mla(F32x4::load(c_row + j), a,
+                                    F32x4::load(b_row + j));
+        acc.store(c_row + j);
+      }
+      for (int64_t j = n4; j < N; ++j) c_row[j] += A[i * K + k] * b_row[j];
+    }
+  }
+}
+
+void gemm_f32_blocked(int64_t M, int64_t N, int64_t K, const float* A,
+                      const float* B, float* C) {
+  // Tile sizes chosen for a Cortex-A53-class 32 KiB L1D: a KC×NC panel of
+  // B (64×256 floats = 64 KiB halves between L1/L2) is reused across all M
+  // rows before moving on.
+  constexpr int64_t KC = 64, NC = 256;
+  for (int64_t i = 0; i < M * N; ++i) C[i] = 0.0f;
+
+  for (int64_t k0 = 0; k0 < K; k0 += KC) {
+    const int64_t kc = std::min(KC, K - k0);
+    for (int64_t n0 = 0; n0 < N; n0 += NC) {
+      const int64_t nc = std::min(NC, N - n0);
+      const int64_t n4 = nc - (nc % 4);
+      for (int64_t i = 0; i < M; ++i) {
+        float* c_row = C + i * N + n0;
+        for (int64_t k = 0; k < kc; ++k) {
+          const float a = A[i * K + k0 + k];
+          const float* b_row = B + (k0 + k) * N + n0;
+          const F32x4 va = F32x4::splat(a);
+          for (int64_t j = 0; j < n4; j += 4) {
+            const F32x4 acc =
+                simd::mla(F32x4::load(c_row + j), va, F32x4::load(b_row + j));
+            acc.store(c_row + j);
+          }
+          for (int64_t j = n4; j < nc; ++j) c_row[j] += a * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Fills one lane-wide strip of the column matrix: for output positions
+/// [col0, col0+width) produces `patch_size` rows of `width` values.
+void im2col_strip_f32(const float* image, const ConvGeometry& g, int64_t col0,
+                      int64_t width, float* strip) {
+  const int64_t out_w = g.out_width();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image + c * g.in_height * g.in_width;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out_row = strip + row * width;
+        for (int64_t j = 0; j < width; ++j) {
+          const int64_t patch = col0 + j;
+          const int64_t oh = patch / out_w, ow = patch % out_w;
+          const int64_t ih = oh * g.stride - g.pad + kh;
+          const int64_t iw = ow * g.stride - g.pad + kw;
+          out_row[j] = (ih < 0 || ih >= g.in_height || iw < 0 ||
+                        iw >= g.in_width)
+                           ? 0.0f
+                           : plane[ih * g.in_width + iw];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fused_conv_f32(const float* image, const ConvGeometry& g,
+                    const float* weights, int64_t out_channels,
+                    const float* bias, float* out) {
+  constexpr int64_t kLanes = F32x4::kLanes;
+  const int64_t patch = g.patch_size();
+  const int64_t n = g.num_patches();
+  std::vector<float> strip(static_cast<size_t>(patch * kLanes));
+
+  for (int64_t col0 = 0; col0 < n; col0 += kLanes) {
+    const int64_t width = std::min<int64_t>(kLanes, n - col0);
+    im2col_strip_f32(image, g, col0, width, strip.data());
+    for (int64_t m = 0; m < out_channels; ++m) {
+      const float* w_row = weights + m * patch;
+      if (width == kLanes) {
+        F32x4 acc = F32x4::splat(bias ? bias[m] : 0.0f);
+        for (int64_t k = 0; k < patch; ++k)
+          acc = simd::mla(acc, F32x4::splat(w_row[k]),
+                          F32x4::load(strip.data() + k * kLanes));
+        acc.store(out + m * n + col0);
+      } else {
+        for (int64_t j = 0; j < width; ++j) {
+          float acc = bias ? bias[m] : 0.0f;
+          for (int64_t k = 0; k < patch; ++k)
+            acc += w_row[k] * strip[static_cast<size_t>(k * width + j)];
+          out[m * n + col0 + j] = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv_via_im2col_f32(const float* image, const ConvGeometry& g,
+                         const float* weights, int64_t out_channels,
+                         const float* bias, float* out) {
+  const int64_t patch = g.patch_size(), n = g.num_patches();
+  std::vector<float> columns(static_cast<size_t>(patch * n));
+  im2col(image, g, columns.data(), 0.0f);
+  gemm_ref(out_channels, n, patch, weights, columns.data(), out, 0.0f);
+  if (bias) {
+    for (int64_t m = 0; m < out_channels; ++m)
+      for (int64_t j = 0; j < n; ++j) out[m * n + j] += bias[m];
+  }
+}
+
+}  // namespace tincy::gemm

@@ -1,0 +1,81 @@
+#include "gemm/im2col.hpp"
+
+namespace tincy::gemm {
+
+template <typename T>
+void im2col(const T* image, const ConvGeometry& g, T* columns, T pad_value) {
+  const int64_t out_h = g.out_height(), out_w = g.out_width();
+  const int64_t num_patches = out_h * out_w;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    const T* plane = image + c * g.in_height * g.in_width;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        T* out_row = columns + row * num_patches;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * g.stride - g.pad + kh;
+          if (ih < 0 || ih >= g.in_height) {
+            for (int64_t ow = 0; ow < out_w; ++ow)
+              out_row[oh * out_w + ow] = pad_value;
+            continue;
+          }
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * g.stride - g.pad + kw;
+            out_row[oh * out_w + ow] = (iw < 0 || iw >= g.in_width)
+                                           ? pad_value
+                                           : plane[ih * g.in_width + iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+template void im2col<float>(const float*, const ConvGeometry&, float*, float);
+template void im2col<uint8_t>(const uint8_t*, const ConvGeometry&, uint8_t*,
+                              uint8_t);
+
+Tensor im2col(const Tensor& image, const ConvGeometry& g) {
+  TINCY_CHECK(image.shape() ==
+              Shape({g.in_channels, g.in_height, g.in_width}));
+  Tensor columns(Shape{g.patch_size(), g.num_patches()});
+  im2col(image.data(), g, columns.data(), 0.0f);
+  return columns;
+}
+
+TensorU8 im2col(const TensorU8& image, const ConvGeometry& g,
+                uint8_t pad_value) {
+  TINCY_CHECK(image.shape() ==
+              Shape({g.in_channels, g.in_height, g.in_width}));
+  TensorU8 columns(Shape{g.patch_size(), g.num_patches()});
+  im2col(image.data(), g, columns.data(), pad_value);
+  return columns;
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image) {
+  const int64_t out_h = g.out_height(), out_w = g.out_width();
+  const int64_t num_patches = out_h * out_w;
+  const int64_t image_size = g.in_channels * g.in_height * g.in_width;
+  for (int64_t i = 0; i < image_size; ++i) image[i] = 0.0f;
+
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image + c * g.in_height * g.in_width;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in_row = columns + row * num_patches;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * g.stride - g.pad + kh;
+          if (ih < 0 || ih >= g.in_height) continue;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * g.stride - g.pad + kw;
+            if (iw < 0 || iw >= g.in_width) continue;
+            plane[ih * g.in_width + iw] += in_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tincy::gemm

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file activation.hpp
+/// Per-element activation functions. Tincy YOLO's modification (a) replaces
+/// leaky ReLU by plain ReLU, which folds away entirely into the FINN
+/// threshold units.
+
+#include <string_view>
+
+#include "core/tensor.hpp"
+
+namespace tincy::nn {
+
+enum class Activation {
+  kLinear,
+  kRelu,
+  kLeaky,     ///< Darknet leaky ReLU, slope 0.1 on the negative side.
+  kLogistic,  ///< sigmoid, used inside the region layer
+};
+
+/// Scalar application.
+float apply(Activation a, float x);
+
+/// In-place application over a whole tensor.
+void apply(Activation a, Tensor& t);
+
+/// Derivative w.r.t. the *pre-activation* input given the input value
+/// (used by the training substrate).
+float derivative(Activation a, float x);
+
+/// Parses Darknet cfg names: "linear", "relu", "leaky", "logistic".
+Activation parse_activation(std::string_view name);
+
+/// Canonical cfg name of an activation.
+std::string_view activation_name(Activation a);
+
+}  // namespace tincy::nn

@@ -1,0 +1,135 @@
+#include "nn/builder.hpp"
+
+#include "core/errors.hpp"
+#include "nn/connected_layer.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/maxpool_layer.hpp"
+#include "nn/offload_layer.hpp"
+#include "nn/region_layer.hpp"
+
+namespace tincy::nn {
+namespace {
+
+ConvKernel parse_kernel(const std::string& name) {
+  if (name == "reference") return ConvKernel::kReference;
+  if (name == "fused") return ConvKernel::kFused;
+  if (name == "lowp") return ConvKernel::kLowp;
+  if (name == "fused_lowp") return ConvKernel::kFusedLowp;
+  if (name == "first16_f32") return ConvKernel::kFirstLayerF32;
+  if (name == "first16_acc32") return ConvKernel::kFirstLayerAcc32;
+  if (name == "first16_acc16") return ConvKernel::kFirstLayerAcc16;
+  if (name == "quant_reference") return ConvKernel::kQuantReference;
+  throw Error("unknown conv kernel: " + name);
+}
+
+LayerPtr make_conv(const Section& s, Shape in_shape) {
+  ConvConfig cfg;
+  cfg.filters = s.get_int("filters", 1);
+  cfg.size = s.get_int("size", 3);
+  cfg.stride = s.get_int("stride", 1);
+  cfg.pad = s.get_int("pad", 0) != 0;
+  cfg.activation =
+      parse_activation(s.get_string("activation", "leaky"));
+  cfg.batch_normalize = s.get_int("batch_normalize", 0) != 0;
+  cfg.binary_weights = s.get_int("binary", 0) != 0;
+  cfg.act_bits = static_cast<int>(s.get_int("abits", 32));
+  cfg.in_scale = static_cast<float>(s.get_double("in_scale", 1.0));
+  cfg.out_scale = static_cast<float>(s.get_double("out_scale", 1.0));
+  cfg.bipolar = s.get_int("bipolar", 0) != 0;
+  cfg.kernel = parse_kernel(s.get_string("kernel", "reference"));
+  return std::make_unique<ConvLayer>(cfg, in_shape);
+}
+
+LayerPtr make_maxpool(const Section& s, Shape in_shape) {
+  MaxPoolConfig cfg;
+  cfg.size = s.get_int("size", 2);
+  cfg.stride = s.get_int("stride", 2);
+  return std::make_unique<MaxPoolLayer>(cfg, in_shape);
+}
+
+LayerPtr make_connected(const Section& s, Shape in_shape) {
+  ConnectedConfig cfg;
+  cfg.outputs = s.get_int("output", 1);
+  cfg.activation = parse_activation(s.get_string("activation", "linear"));
+  cfg.binary_weights = s.get_int("binary", 0) != 0;
+  cfg.act_bits = static_cast<int>(s.get_int("abits", 32));
+  cfg.in_scale = static_cast<float>(s.get_double("in_scale", 1.0));
+  cfg.out_scale = static_cast<float>(s.get_double("out_scale", 1.0));
+  cfg.bipolar = s.get_int("bipolar", 0) != 0;
+  return std::make_unique<ConnectedLayer>(cfg, in_shape);
+}
+
+LayerPtr make_region(const Section& s, Shape in_shape) {
+  RegionConfig cfg;
+  cfg.classes = s.get_int("classes", 20);
+  cfg.coords = s.get_int("coords", 4);
+  cfg.num = s.get_int("num", 5);
+  cfg.anchors = s.get_float_list("anchors");
+  cfg.softmax = s.get_int("softmax", 1) != 0;
+  return std::make_unique<RegionLayer>(cfg, in_shape);
+}
+
+LayerPtr make_offload(const Section& s, Shape in_shape) {
+  OffloadConfig cfg;
+  cfg.library = s.get_string("library", "");
+  TINCY_CHECK_MSG(!cfg.library.empty(),
+                  "[offload] section line " << s.line << " needs library=");
+  cfg.network = s.get_string("network", "");
+  cfg.weights = s.get_string("weights", "");
+  const int64_t c = s.get_int("channel", 0);
+  const int64_t h = s.get_int("height", 0);
+  const int64_t w = s.get_int("width", 0);
+  TINCY_CHECK_MSG(c > 0 && h > 0 && w > 0,
+                  "[offload] needs output geometry height/width/channel");
+  cfg.output_shape = Shape{c, h, w};
+  for (const auto& [k, v] : s.kv) {
+    if (k != "library" && k != "network" && k != "weights" && k != "channel" &&
+        k != "height" && k != "width")
+      cfg.extra[k] = v;
+  }
+  return std::make_unique<OffloadLayer>(cfg, in_shape);
+}
+
+}  // namespace
+
+std::unique_ptr<Network> build_network(const std::vector<Section>& sections) {
+  TINCY_CHECK_MSG(!sections.empty() && sections.front().name == "net",
+                  "cfg must start with a [net] section");
+  const Section& net_s = sections.front();
+  const Shape input{net_s.get_int("channels", 3), net_s.get_int("height", 416),
+                    net_s.get_int("width", 416)};
+  auto net = std::make_unique<Network>(input);
+
+  for (size_t i = 1; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    const Shape in_shape = net->num_layers() == 0
+                               ? input
+                               : net->layers().back()->output_shape();
+    if (s.name == "convolutional" || s.name == "conv") {
+      net->add(make_conv(s, in_shape));
+    } else if (s.name == "maxpool") {
+      net->add(make_maxpool(s, in_shape));
+    } else if (s.name == "connected") {
+      net->add(make_connected(s, in_shape));
+    } else if (s.name == "region") {
+      net->add(make_region(s, in_shape));
+    } else if (s.name == "offload") {
+      net->add(make_offload(s, in_shape));
+    } else {
+      throw Error("unsupported cfg section [" + s.name + "] at line " +
+                  std::to_string(s.line));
+    }
+  }
+  return net;
+}
+
+std::unique_ptr<Network> build_network_from_string(
+    const std::string& cfg_text) {
+  return build_network(parse_cfg(cfg_text));
+}
+
+std::unique_ptr<Network> build_network_from_file(const std::string& path) {
+  return build_network(parse_cfg_file(path));
+}
+
+}  // namespace tincy::nn

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file builder.hpp
+/// Builds a Network from parsed cfg sections (the counterpart of Darknet's
+/// parse_network_cfg). Supported sections: [net], [convolutional],
+/// [maxpool], [connected], [region], [offload].
+
+#include <memory>
+#include <string>
+
+#include "nn/cfg.hpp"
+#include "nn/network.hpp"
+
+namespace tincy::nn {
+
+/// Builds the network described by the sections; the first section must be
+/// [net] with width/height/channels.
+std::unique_ptr<Network> build_network(const std::vector<Section>& sections);
+
+/// Convenience: parse + build from cfg text.
+std::unique_ptr<Network> build_network_from_string(const std::string& cfg_text);
+
+/// Convenience: parse + build from a cfg file.
+std::unique_ptr<Network> build_network_from_file(const std::string& path);
+
+}  // namespace tincy::nn

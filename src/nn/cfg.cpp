@@ -1,0 +1,81 @@
+#include "nn/cfg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/errors.hpp"
+#include "core/string_utils.hpp"
+
+namespace tincy::nn {
+
+int64_t Section::get_int(const std::string& key, int64_t fallback) const {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : parse_int(it->second);
+}
+
+double Section::get_double(const std::string& key, double fallback) const {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : parse_double(it->second);
+}
+
+std::string Section::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+std::vector<float> Section::get_float_list(const std::string& key) const {
+  std::vector<float> out;
+  const auto it = kv.find(key);
+  if (it == kv.end()) return out;
+  for (const auto& item : split(it->second, ',')) {
+    const auto trimmed = trim(item);
+    if (!trimmed.empty()) out.push_back(static_cast<float>(parse_double(trimmed)));
+  }
+  return out;
+}
+
+std::vector<Section> parse_cfg(const std::string& text) {
+  std::vector<Section> sections;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments ('#' and Darknet's ';').
+    const size_t hash = raw.find_first_of("#;");
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto line = trim(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      TINCY_CHECK_MSG(line.back() == ']',
+                      "line " << line_no << ": malformed section header");
+      Section s;
+      s.name = std::string(trim(line.substr(1, line.size() - 2)));
+      s.line = line_no;
+      TINCY_CHECK_MSG(!s.name.empty(), "line " << line_no << ": empty section");
+      sections.push_back(std::move(s));
+      continue;
+    }
+
+    std::string key, value;
+    TINCY_CHECK_MSG(parse_key_value(line, key, value),
+                    "line " << line_no << ": expected key=value, got '"
+                            << std::string(line) << "'");
+    TINCY_CHECK_MSG(!sections.empty(),
+                    "line " << line_no << ": key=value before any [section]");
+    sections.back().kv[key] = value;
+  }
+  return sections;
+}
+
+std::vector<Section> parse_cfg_file(const std::string& path) {
+  std::ifstream in(path);
+  TINCY_CHECK_MSG(in.is_open(), "cannot open cfg " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_cfg(buffer.str());
+}
+
+}  // namespace tincy::nn

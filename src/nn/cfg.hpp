@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cfg.hpp
+/// Parser for Darknet-style .cfg files: INI-like `[section]` headers with
+/// `key=value` lines and `#` comments — the format of Fig. 4.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tincy::nn {
+
+/// One cfg section in file order.
+struct Section {
+  std::string name;                         ///< e.g. "convolutional"
+  std::map<std::string, std::string> kv;    ///< raw key=value pairs
+  int line = 0;                             ///< header line (diagnostics)
+
+  bool has(const std::string& key) const { return kv.contains(key); }
+
+  /// Typed getters with defaults; throw tincy::Error on malformed values.
+  int64_t get_int(const std::string& key, int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  /// Comma-separated float list (e.g. region anchors).
+  std::vector<float> get_float_list(const std::string& key) const;
+};
+
+/// Parses cfg text; throws on stray key=value lines before any section.
+std::vector<Section> parse_cfg(const std::string& text);
+
+/// Reads and parses a cfg file.
+std::vector<Section> parse_cfg_file(const std::string& path);
+
+}  // namespace tincy::nn

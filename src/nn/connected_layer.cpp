@@ -1,0 +1,66 @@
+#include "nn/connected_layer.hpp"
+
+#include <cmath>
+
+#include "nn/weights_io.hpp"
+#include "quant/thresholds.hpp"
+
+namespace tincy::nn {
+
+ConnectedLayer::ConnectedLayer(const ConnectedConfig& cfg, Shape input_shape)
+    : cfg_(cfg), inputs_(input_shape.numel()) {
+  TINCY_CHECK(cfg.outputs > 0 && inputs_ > 0);
+  if (cfg.bipolar) {
+    TINCY_CHECK_MSG(cfg.act_bits == 1, "bipolar requires abits=1");
+    TINCY_CHECK_MSG(cfg.activation == Activation::kLinear,
+                    "bipolar layers use the sign itself as activation");
+  }
+  weights_ = Tensor(Shape{cfg.outputs, inputs_});
+  biases_ = Tensor(Shape{cfg.outputs});
+}
+
+void ConnectedLayer::forward(const Tensor& in, Tensor& out) {
+  TINCY_CHECK(in.numel() == inputs_);
+  TINCY_CHECK(out.numel() == cfg_.outputs);
+  for (int64_t o = 0; o < cfg_.outputs; ++o) {
+    const float* w = weights_.data() + o * inputs_;
+    float acc = biases_[o];
+    if (cfg_.binary_weights) {
+      for (int64_t i = 0; i < inputs_; ++i)
+        acc += (w[i] >= 0.0f ? in[i] : -in[i]);
+    } else {
+      for (int64_t i = 0; i < inputs_; ++i) acc += w[i] * in[i];
+    }
+    out[o] = apply(cfg_.activation, acc);
+  }
+  if (cfg_.bipolar) {
+    const quant::BipolarActQuant q{cfg_.out_scale};
+    for (int64_t i = 0; i < out.numel(); ++i)
+      out[i] = q.dequantize(q.quantize(out[i]));
+  } else if (cfg_.act_bits < 8) {
+    const quant::UniformActQuant q{cfg_.act_bits, cfg_.out_scale};
+    for (int64_t i = 0; i < out.numel(); ++i)
+      out[i] = q.dequantize(q.quantize(out[i]));
+  }
+}
+
+void ConnectedLayer::load_weights(WeightReader& r) {
+  r.read(biases_);
+  r.read(weights_);
+}
+
+void ConnectedLayer::save_weights(WeightWriter& w) const {
+  w.write(biases_);
+  w.write(weights_);
+}
+
+OpsCount ConnectedLayer::ops() const {
+  return {2 * inputs_ * cfg_.outputs, precision()};
+}
+
+Precision ConnectedLayer::precision() const {
+  if (cfg_.binary_weights && cfg_.act_bits < 8) return {1, cfg_.act_bits};
+  return kFloat;
+}
+
+}  // namespace tincy::nn

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file layer.hpp
+/// The layer abstraction of the Darknet-style framework.
+///
+/// Darknet virtualizes layer functionality through function pointers; the
+/// paper's offload mechanism (Fig. 3) exploits exactly that by redirecting
+/// a layer's init / load_weights / forward / destroy hooks into a user
+/// library. Here the same life cycle is expressed as virtuals on a common
+/// base class; OffloadLayer forwards them into a pluggable backend.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/tensor.hpp"
+#include "nn/precision.hpp"
+
+namespace tincy::nn {
+
+class WeightReader;
+class WeightWriter;
+
+/// Operation count of one layer, bucketed by precision (Table I/II).
+struct OpsCount {
+  int64_t ops = 0;  ///< multiply+add counted as 2 ops; pool comparisons per channel.
+  Precision precision = kFloat;
+};
+
+/// Abstract network layer. Construction plays the role of Darknet's init
+/// hook (the layer sizes its buffers from the incoming shape); the other
+/// three hooks map to the virtuals below. Layers own their parameters.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Darknet cfg section name of this layer ("convolutional", ...).
+  virtual std::string type_name() const = 0;
+
+  /// Shape of the output feature map.
+  virtual Shape output_shape() const = 0;
+
+  /// load_weights hook: reads this layer's parameters in file order.
+  /// Layers without parameters do nothing.
+  virtual void load_weights(WeightReader&) {}
+
+  /// Writes parameters in the same order load_weights reads them.
+  virtual void save_weights(WeightWriter&) const {}
+
+  /// forward hook: computes the output feature map from the input.
+  /// `out` is pre-allocated to output_shape().
+  virtual void forward(const Tensor& in, Tensor& out) = 0;
+
+  /// Operations per frame in the paper's accounting (see ops.hpp).
+  virtual OpsCount ops() const { return {}; }
+
+  /// Precision class this layer computes in.
+  virtual Precision precision() const { return kFloat; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace tincy::nn

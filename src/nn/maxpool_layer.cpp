@@ -1,0 +1,52 @@
+#include "nn/maxpool_layer.hpp"
+
+#include <limits>
+
+namespace tincy::nn {
+
+MaxPoolLayer::MaxPoolLayer(const MaxPoolConfig& cfg, Shape input_shape)
+    : cfg_(cfg), in_shape_(input_shape) {
+  TINCY_CHECK(input_shape.rank() == 3);
+  const int64_t padding = cfg.size - 1;  // Darknet's implicit total padding
+  out_h_ = (input_shape.height() + padding - cfg.size) / cfg.stride + 1;
+  out_w_ = (input_shape.width() + padding - cfg.size) / cfg.stride + 1;
+  TINCY_CHECK_MSG(out_h_ > 0 && out_w_ > 0,
+                  "degenerate pool output for " << input_shape.to_string());
+}
+
+Shape MaxPoolLayer::output_shape() const {
+  return Shape{in_shape_.channels(), out_h_, out_w_};
+}
+
+void MaxPoolLayer::forward(const Tensor& in, Tensor& out) {
+  TINCY_CHECK(in.shape() == in_shape_);
+  TINCY_CHECK(out.shape() == output_shape());
+  const int64_t C = in_shape_.channels(), H = in_shape_.height(),
+                W = in_shape_.width();
+  const int64_t pad_left = (cfg_.size - 1) / 2;  // 0 for size 2: pad right/bottom
+  for (int64_t c = 0; c < C; ++c) {
+    const float* plane = in.data() + c * H * W;
+    float* out_plane = out.data() + c * out_h_ * out_w_;
+    for (int64_t oh = 0; oh < out_h_; ++oh) {
+      for (int64_t ow = 0; ow < out_w_; ++ow) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int64_t kh = 0; kh < cfg_.size; ++kh) {
+          const int64_t ih = oh * cfg_.stride - pad_left + kh;
+          if (ih < 0 || ih >= H) continue;
+          for (int64_t kw = 0; kw < cfg_.size; ++kw) {
+            const int64_t iw = ow * cfg_.stride - pad_left + kw;
+            if (iw < 0 || iw >= W) continue;
+            best = std::max(best, plane[ih * W + iw]);
+          }
+        }
+        out_plane[oh * out_w_ + ow] = best;
+      }
+    }
+  }
+}
+
+OpsCount MaxPoolLayer::ops() const {
+  return {cfg_.size * cfg_.size * out_h_ * out_w_, kFloat};
+}
+
+}  // namespace tincy::nn

@@ -1,0 +1,56 @@
+#include "nn/network.hpp"
+
+namespace tincy::nn {
+
+Network::Network(Shape input_shape) : input_shape_(input_shape) {
+  TINCY_CHECK_MSG(input_shape.rank() >= 1, "empty input shape");
+}
+
+void Network::add(LayerPtr layer) {
+  TINCY_CHECK(layer != nullptr);
+  outputs_.emplace_back(layer->output_shape());
+  layer_ms_.push_back(0.0);
+  layers_.push_back(std::move(layer));
+}
+
+Shape Network::layer_input_shape(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  return i == 0 ? input_shape_
+                : layers_[static_cast<size_t>(i - 1)]->output_shape();
+}
+
+Shape Network::output_shape() const {
+  TINCY_CHECK_MSG(!layers_.empty(), "empty network");
+  return layers_.back()->output_shape();
+}
+
+const Tensor& Network::forward(const Tensor& input) {
+  TINCY_CHECK_MSG(!layers_.empty(), "empty network");
+  const Tensor* current = &input;
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    current = &run_layer(i, *current);
+  }
+  return *current;
+}
+
+const Tensor& Network::run_layer(int64_t i, const Tensor& in) {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  const auto t0 = std::chrono::steady_clock::now();
+  layers_[static_cast<size_t>(i)]->forward(in, outputs_[static_cast<size_t>(i)]);
+  const auto t1 = std::chrono::steady_clock::now();
+  layer_ms_[static_cast<size_t>(i)] =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return outputs_[static_cast<size_t>(i)];
+}
+
+const Tensor& Network::layer_output(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  return outputs_[static_cast<size_t>(i)];
+}
+
+double Network::last_layer_ms(int64_t i) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  return layer_ms_[static_cast<size_t>(i)];
+}
+
+}  // namespace tincy::nn

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file network.hpp
+/// The network container: an ordered list of layers plus their activation
+/// buffers. Besides the classic whole-net forward() it exposes per-layer
+/// invocation — the paper had to "disintegrate" Darknet's forward pass to
+/// feed individual layers into the frame pipeline (§III-F); here that
+/// access is first-class.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace tincy::nn {
+
+class Network {
+ public:
+  explicit Network(Shape input_shape);
+
+  /// Appends a layer; its input shape is the current output shape.
+  void add(LayerPtr layer);
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+  Layer& layer(int64_t i) { return *layers_[static_cast<size_t>(i)]; }
+  const Layer& layer(int64_t i) const { return *layers_[static_cast<size_t>(i)]; }
+
+  Shape input_shape() const { return input_shape_; }
+  /// Input shape of layer i (== output shape of layer i−1).
+  Shape layer_input_shape(int64_t i) const;
+  /// Output shape of the whole network.
+  Shape output_shape() const;
+
+  /// Whole-network inference; returns the final feature map. Records
+  /// per-layer wall-clock times retrievable via last_layer_ms().
+  const Tensor& forward(const Tensor& input);
+
+  /// Runs a single layer on an explicit input (pipeline mode). The result
+  /// lands in this layer's activation buffer and is returned.
+  const Tensor& run_layer(int64_t i, const Tensor& in);
+
+  /// Activation buffer of layer i after the last forward/run_layer.
+  const Tensor& layer_output(int64_t i) const;
+
+  /// Milliseconds layer i took in the last forward() (0 before any run).
+  double last_layer_ms(int64_t i) const;
+
+ private:
+  Shape input_shape_;
+  std::vector<LayerPtr> layers_;
+  std::vector<Tensor> outputs_;
+  std::vector<double> layer_ms_;
+};
+
+}  // namespace tincy::nn

@@ -1,0 +1,58 @@
+#include "nn/ops.hpp"
+
+namespace tincy::nn {
+namespace {
+
+bool is_dot_product_layer(const Layer& layer) {
+  const std::string t = layer.type_name();
+  return t == "convolutional" || t == "connected" || t == "offload";
+}
+
+std::string short_type(const std::string& type_name) {
+  if (type_name == "convolutional") return "conv";
+  if (type_name == "maxpool") return "pool";
+  return type_name;
+}
+
+}  // namespace
+
+std::vector<LayerOpsRow> ops_rows(const Network& net) {
+  std::vector<LayerOpsRow> rows;
+  rows.reserve(static_cast<size_t>(net.num_layers()));
+  for (int64_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    LayerOpsRow row;
+    row.index = i + 1;
+    row.type = short_type(layer.type_name());
+    const OpsCount oc = layer.ops();
+    row.ops = oc.ops;
+    row.precision = oc.precision;
+    row.dot_product = is_dot_product_layer(layer);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int64_t total_ops(const Network& net) {
+  int64_t total = 0;
+  for (const auto& row : ops_rows(net)) total += row.ops;
+  return total;
+}
+
+WorkloadSummary dot_product_workload(const Network& net) {
+  WorkloadSummary s;
+  for (const auto& row : ops_rows(net)) {
+    if (!row.dot_product) continue;
+    if (row.precision.is_reduced()) {
+      s.reduced_ops += row.ops;
+      s.reduced_precision = row.precision;
+    } else if (row.precision.is_8bit()) {
+      s.eight_bit_ops += row.ops;
+    } else {
+      s.float_ops += row.ops;
+    }
+  }
+  return s;
+}
+
+}  // namespace tincy::nn

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file ops.hpp
+/// Analytic operation accounting reproducing the paper's Tables I and II.
+///
+/// Conventions (reverse-engineered to match the published numbers exactly):
+///  * convolution / fully connected: 2 · K²·C · C′ · outH·outW operations
+///    (multiply and add counted separately);
+///  * max pooling: K² · outH · outW comparisons, counted per channel
+///    (channel-independent in the paper's accounting);
+///  * Table II sums only dot-product workloads (conv + connected layers),
+///    bucketed into "reduced" (< 8-bit, fabric class) and 8-bit work.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/precision.hpp"
+
+namespace tincy::nn {
+
+/// One row of a Table-I-style per-layer ops listing.
+struct LayerOpsRow {
+  int64_t index = 0;       ///< 1-based layer number as in the paper
+  std::string type;        ///< "conv", "pool", ...
+  int64_t ops = 0;
+  Precision precision;
+  bool dot_product = false;  ///< participates in Table II sums
+};
+
+/// Per-layer rows for the given network.
+std::vector<LayerOpsRow> ops_rows(const Network& net);
+
+/// Total operations per frame (Table I's Σ row).
+int64_t total_ops(const Network& net);
+
+/// Table II buckets over dot-product layers only.
+struct WorkloadSummary {
+  int64_t reduced_ops = 0;    ///< sub-8-bit work (W1A1 / W1A3 / ...)
+  int64_t eight_bit_ops = 0;  ///< 8-bit fixed-point work
+  int64_t float_ops = 0;      ///< remaining float work
+  Precision reduced_precision = kFloat;  ///< dominant reduced class
+
+  int64_t total() const { return reduced_ops + eight_bit_ops + float_ops; }
+};
+
+WorkloadSummary dot_product_workload(const Network& net);
+
+}  // namespace tincy::nn

@@ -1,0 +1,58 @@
+#include "nn/weights_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/errors.hpp"
+#include "nn/network.hpp"
+
+namespace tincy::nn {
+
+WeightReader::WeightReader(std::istream& in) : in_(in) {
+  in_.read(reinterpret_cast<char*>(&header_.major), sizeof(int32_t));
+  in_.read(reinterpret_cast<char*>(&header_.minor), sizeof(int32_t));
+  in_.read(reinterpret_cast<char*>(&header_.revision), sizeof(int32_t));
+  in_.read(reinterpret_cast<char*>(&header_.seen), sizeof(uint64_t));
+  TINCY_CHECK_MSG(static_cast<bool>(in_), "truncated weights header");
+}
+
+void WeightReader::read(float* dst, int64_t n) {
+  in_.read(reinterpret_cast<char*>(dst),
+           static_cast<std::streamsize>(n * static_cast<int64_t>(sizeof(float))));
+  TINCY_CHECK_MSG(static_cast<bool>(in_), "truncated weights payload (" << n
+                                                                        << " floats)");
+}
+
+WeightWriter::WeightWriter(std::ostream& out, const WeightsHeader& header)
+    : out_(out) {
+  out_.write(reinterpret_cast<const char*>(&header.major), sizeof(int32_t));
+  out_.write(reinterpret_cast<const char*>(&header.minor), sizeof(int32_t));
+  out_.write(reinterpret_cast<const char*>(&header.revision), sizeof(int32_t));
+  out_.write(reinterpret_cast<const char*>(&header.seen), sizeof(uint64_t));
+}
+
+void WeightWriter::write(const float* src, int64_t n) {
+  out_.write(
+      reinterpret_cast<const char*>(src),
+      static_cast<std::streamsize>(n * static_cast<int64_t>(sizeof(float))));
+  TINCY_CHECK_MSG(static_cast<bool>(out_), "weight write failed");
+}
+
+void save_weights(const Network& net, const std::string& path, uint64_t seen) {
+  std::ofstream out(path, std::ios::binary);
+  TINCY_CHECK_MSG(out.is_open(), "cannot open " << path);
+  WeightsHeader header;
+  header.seen = seen;
+  WeightWriter writer(out, header);
+  for (const auto& layer : net.layers()) layer->save_weights(writer);
+}
+
+void load_weights(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TINCY_CHECK_MSG(in.is_open(), "cannot open " << path);
+  WeightReader reader(in);
+  for (const auto& layer : net.layers()) layer->load_weights(reader);
+}
+
+}  // namespace tincy::nn

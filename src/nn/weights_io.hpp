@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file weights_io.hpp
+/// Darknet-compatible binary weight files: a small version header followed
+/// by each parameterized layer's floats in network order. The offload
+/// backends additionally use per-layer files in a "binparam" directory,
+/// mirroring the paper's `weights=binparam-tincy-yolo/` cfg line (Fig. 4).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace tincy::nn {
+
+/// Header of a Darknet weight file.
+struct WeightsHeader {
+  int32_t major = 0;
+  int32_t minor = 2;
+  int32_t revision = 0;
+  uint64_t seen = 0;  ///< images seen during training
+};
+
+/// Sequential reader over a weight stream. Layers consume floats in the
+/// exact order the writer emitted them.
+class WeightReader {
+ public:
+  explicit WeightReader(std::istream& in);
+
+  const WeightsHeader& header() const { return header_; }
+
+  /// Reads `n` floats into `dst`; throws on short reads.
+  void read(float* dst, int64_t n);
+
+  /// Reads a whole tensor's worth of floats.
+  void read(Tensor& t) { read(t.data(), t.numel()); }
+
+ private:
+  std::istream& in_;
+  WeightsHeader header_;
+};
+
+/// Sequential writer producing a stream WeightReader can consume.
+class WeightWriter {
+ public:
+  WeightWriter(std::ostream& out, const WeightsHeader& header);
+
+  void write(const float* src, int64_t n);
+  void write(const Tensor& t) { write(t.data(), t.numel()); }
+
+ private:
+  std::ostream& out_;
+};
+
+class Network;
+
+/// Saves all layer parameters of `net` to a Darknet-style weight file.
+void save_weights(const Network& net, const std::string& path,
+                  uint64_t seen = 0);
+
+/// Loads parameters saved by save_weights back into `net` (topologies must
+/// match; layers read in order).
+void load_weights(Network& net, const std::string& path);
+
+}  // namespace tincy::nn

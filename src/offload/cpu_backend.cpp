@@ -1,0 +1,64 @@
+#include "offload/cpu_backend.hpp"
+
+#include "core/errors.hpp"
+#include "core/string_utils.hpp"
+#include "nn/builder.hpp"
+#include "nn/ops.hpp"
+#include "nn/weights_io.hpp"
+#include "offload/fabric_backend.hpp"
+
+namespace tincy::offload {
+
+void CpuBackend::init(const nn::OffloadConfig& cfg, Shape input_shape) {
+  cfg_ = cfg;
+  input_shape_ = input_shape;
+  if (starts_with(cfg.network, "inline:")) {
+    subnet_ =
+        nn::build_network_from_string(inline_network(cfg.network.substr(7)));
+  } else {
+    subnet_ = nn::build_network_from_file(cfg.network);
+  }
+  TINCY_CHECK_MSG(subnet_->input_shape() == input_shape,
+                  "cpu offload expects input "
+                      << subnet_->input_shape().to_string() << " but gets "
+                      << input_shape.to_string());
+  TINCY_CHECK_MSG(subnet_->output_shape() == cfg.output_shape,
+                  "cpu offload produces "
+                      << subnet_->output_shape().to_string()
+                      << " but the [offload] section declares "
+                      << cfg.output_shape.to_string());
+}
+
+void CpuBackend::load_weights() {
+  // The weights value points at a Darknet weight file for the subtopology;
+  // an empty value keeps the in-memory parameters (e.g. after randomize).
+  if (!cfg_.weights.empty()) nn::load_weights(*subnet_, cfg_.weights);
+}
+
+void CpuBackend::forward(const Tensor& in, Tensor& out) {
+  TINCY_CHECK_MSG(subnet_ != nullptr, "cpu offload forward before init");
+  out = subnet_->forward(in);
+}
+
+void CpuBackend::destroy() { subnet_.reset(); }
+
+nn::Network& CpuBackend::subnet() {
+  TINCY_CHECK_MSG(subnet_ != nullptr, "cpu offload not initialized");
+  return *subnet_;
+}
+
+nn::OpsCount CpuBackend::ops() const {
+  nn::OpsCount oc;
+  if (!subnet_) return oc;
+  const auto summary = nn::dot_product_workload(*subnet_);
+  oc.ops = summary.total();
+  oc.precision = summary.reduced_precision;
+  return oc;
+}
+
+nn::Precision CpuBackend::precision() const {
+  if (!subnet_) return nn::kFloat;
+  return nn::dot_product_workload(*subnet_).reduced_precision;
+}
+
+}  // namespace tincy::offload

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file cpu_backend.hpp
+/// A CPU OffloadBackend ("cpu_qnn.so"): runs the offloaded subtopology
+/// with the framework's own quantized reference layers. It serves as the
+/// drop-in software reference for the fabric backend (the paper keeps a
+/// float reference "available as drop in ... for case-to-case evaluation")
+/// and demonstrates that the offload mechanism is backend-agnostic.
+
+#include <memory>
+
+#include "nn/network.hpp"
+#include "nn/offload_layer.hpp"
+
+namespace tincy::offload {
+
+class CpuBackend final : public nn::OffloadBackend {
+ public:
+  void init(const nn::OffloadConfig& cfg, Shape input_shape) override;
+  void load_weights() override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void destroy() override;
+  nn::OpsCount ops() const override;
+  nn::Precision precision() const override;
+
+  nn::Network& subnet();
+
+ private:
+  nn::OffloadConfig cfg_;
+  Shape input_shape_;
+  std::unique_ptr<nn::Network> subnet_;
+};
+
+}  // namespace tincy::offload

@@ -1,0 +1,113 @@
+#include "offload/fabric_backend.hpp"
+
+#include <map>
+
+#include "core/errors.hpp"
+#include "core/string_utils.hpp"
+#include "fabric/binparam.hpp"
+#include "nn/builder.hpp"
+#include "offload/import.hpp"
+
+namespace tincy::offload {
+namespace {
+
+std::map<std::string, std::string>& inline_registry() {
+  static std::map<std::string, std::string> registry;
+  return registry;
+}
+
+}  // namespace
+
+void register_inline_network(const std::string& name,
+                             const std::string& cfg_text) {
+  inline_registry()[name] = cfg_text;
+}
+
+const std::string& inline_network(const std::string& name) {
+  const auto it = inline_registry().find(name);
+  TINCY_CHECK_MSG(it != inline_registry().end(),
+                  "inline network not registered: '" << name << "'");
+  return it->second;
+}
+
+FabricBackend::FabricBackend(fabric::CycleModel model, fabric::Device device)
+    : model_(model), device_(device) {}
+
+void FabricBackend::init(const nn::OffloadConfig& cfg, Shape input_shape) {
+  cfg_ = cfg;
+  input_shape_ = input_shape;
+  TINCY_CHECK_MSG(!cfg.network.empty(),
+                  "[offload] fabric backend needs network=");
+}
+
+void FabricBackend::load_weights() {
+  // Parameters live in the binparam directory; the subtopology cfg (file
+  // or inline) defines the expected structure, which we validate against.
+  std::unique_ptr<nn::Network> subnet;
+  if (starts_with(cfg_.network, "inline:")) {
+    subnet = nn::build_network_from_string(
+        inline_network(cfg_.network.substr(7)));
+  } else {
+    subnet = nn::build_network_from_file(cfg_.network);
+  }
+  TINCY_CHECK_MSG(subnet->input_shape() == input_shape_,
+                  "offload subtopology expects input "
+                      << subnet->input_shape().to_string() << " but gets "
+                      << input_shape_.to_string());
+  TINCY_CHECK_MSG(subnet->output_shape() == cfg_.output_shape,
+                  "offload subtopology produces "
+                      << subnet->output_shape().to_string()
+                      << " but the [offload] section declares "
+                      << cfg_.output_shape.to_string());
+
+  TINCY_CHECK_MSG(!cfg_.weights.empty(),
+                  "[offload] fabric backend needs weights=binparam dir");
+  accelerator_ = fabric::load_accelerator(cfg_.weights, model_, device_);
+  // Element-count comparison: FC front stages view the incoming CHW map
+  // as a flat channel vector.
+  TINCY_CHECK_MSG(accelerator_->input_shape().numel() == input_shape_.numel(),
+                  "binparam stages expect input "
+                      << accelerator_->input_shape().to_string());
+  TINCY_CHECK_MSG(
+      accelerator_->output_shape().numel() == cfg_.output_shape.numel(),
+      "binparam stages produce "
+          << accelerator_->output_shape().to_string());
+}
+
+void FabricBackend::forward(const Tensor& in, Tensor& out) {
+  TINCY_CHECK_MSG(accelerator_.has_value(),
+                  "fabric backend forward before load_weights");
+  Tensor result = accelerator_->forward(in);
+  result.reshape(cfg_.output_shape);  // same elements, declared geometry
+  out = std::move(result);
+}
+
+void FabricBackend::destroy() { accelerator_.reset(); }
+
+const fabric::QnnAccelerator& FabricBackend::accelerator() const {
+  TINCY_CHECK_MSG(accelerator_.has_value(), "accelerator not loaded");
+  return *accelerator_;
+}
+
+double FabricBackend::modeled_ms() const { return accelerator().total_ms(); }
+
+nn::OpsCount FabricBackend::ops() const {
+  nn::OpsCount oc;
+  if (!accelerator_) return oc;
+  for (int64_t i = 0; i < accelerator_->num_layers(); ++i) {
+    const auto& s = accelerator_->spec(i);
+    const auto g = s.conv_geometry();
+    oc.ops += 2 * g.patch_size() * s.filters * g.num_patches();
+  }
+  oc.precision = precision();
+  return oc;
+}
+
+nn::Precision FabricBackend::precision() const {
+  int act_bits = 3;
+  if (accelerator_ && accelerator_->num_layers() > 0)
+    act_bits = accelerator_->spec(0).act_bits_in;
+  return {1, act_bits};
+}
+
+}  // namespace tincy::offload

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file fabric_backend.hpp
+/// The "fabric.so" of Fig. 4: an OffloadBackend that runs the hidden
+/// layers on the QNN accelerator. The backend resolves the subtopology
+/// from the cfg's `network=` value (a cfg file path or a name registered
+/// via register_inline_network) and its parameters from the `weights=`
+/// binparam directory.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fabric/accelerator.hpp"
+#include "nn/offload_layer.hpp"
+
+namespace tincy::offload {
+
+/// Registers cfg text under a name so `[offload] network=inline:<name>`
+/// works without touching the filesystem (tests, examples).
+void register_inline_network(const std::string& name,
+                             const std::string& cfg_text);
+
+/// Fetches inline cfg text; throws for unknown names.
+const std::string& inline_network(const std::string& name);
+
+class FabricBackend final : public nn::OffloadBackend {
+ public:
+  /// Cycle model / device are injectable for experiments; the defaults are
+  /// the paper's platform (XCZU3EG, single folded engine).
+  explicit FabricBackend(fabric::CycleModel model = {},
+                         fabric::Device device = {});
+
+  void init(const nn::OffloadConfig& cfg, Shape input_shape) override;
+  void load_weights() override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void destroy() override;
+  nn::OpsCount ops() const override;
+  nn::Precision precision() const override;
+
+  /// The live accelerator (valid after load_weights, or after init when
+  /// the subtopology carries weights in memory).
+  const fabric::QnnAccelerator& accelerator() const;
+
+  /// Modeled PL time per frame for the offloaded layers (the paper's
+  /// "reduces the processing time of all hidden layers together to 30 ms").
+  double modeled_ms() const;
+
+ private:
+  fabric::CycleModel model_;
+  fabric::Device device_;
+  nn::OffloadConfig cfg_;
+  Shape input_shape_;
+  std::optional<fabric::QnnAccelerator> accelerator_;
+};
+
+}  // namespace tincy::offload

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file import.hpp
+/// Conversion between the Darknet-side view of the offloaded subtopology
+/// (a Network of quantized ConvLayers and MaxPoolLayers) and the fabric
+/// accelerator's stage list. This is where the software stack's trained
+/// parameters (float weights, bias, batch-norm) become the hardware form
+/// (bit-packed ±1 matrices and integer threshold tables).
+
+#include <string>
+#include <vector>
+
+#include "fabric/accelerator.hpp"
+#include "fabric/binparam.hpp"
+#include "nn/network.hpp"
+
+namespace tincy::offload {
+
+/// Extracts accelerator stages from a subnetwork consisting of quantized
+/// convolutional layers (binary=1, abits<8), each optionally followed by a
+/// maxpool layer. Throws if the subnetwork contains anything else.
+std::vector<fabric::BinparamLayer> extract_stages(const nn::Network& subnet);
+
+/// Builds an in-memory accelerator directly from the subnetwork.
+fabric::QnnAccelerator import_accelerator(const nn::Network& subnet,
+                                          fabric::CycleModel model = {},
+                                          fabric::Device device = {});
+
+/// Writes the subnetwork's stages as a binparam directory (Fig. 4's
+/// `weights=binparam-…/`).
+void export_binparams(const nn::Network& subnet, const std::string& dir);
+
+}  // namespace tincy::offload

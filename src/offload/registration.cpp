@@ -1,0 +1,19 @@
+#include "offload/registration.hpp"
+
+#include "nn/offload_layer.hpp"
+#include "offload/cpu_backend.hpp"
+#include "offload/fabric_backend.hpp"
+
+namespace tincy::offload {
+
+void register_standard_backends() {
+  auto& registry = nn::OffloadRegistry::instance();
+  registry.register_library("fabric.so", [] {
+    return std::make_unique<FabricBackend>();
+  });
+  registry.register_library("cpu_qnn.so", [] {
+    return std::make_unique<CpuBackend>();
+  });
+}
+
+}  // namespace tincy::offload

@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file registration.hpp
+/// Registers the standard offload "shared libraries" with the process-wide
+/// registry: "fabric.so" (QNN accelerator) and "cpu_qnn.so" (software
+/// reference). Idempotent; call once before building networks whose cfg
+/// contains [offload] sections.
+
+namespace tincy::offload {
+
+void register_standard_backends();
+
+}  // namespace tincy::offload

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file ladder.hpp
+/// The §III optimization ladder: every bottleneck-elimination step of the
+/// paper with its modeled frame time and frame rate, from generic Darknet
+/// inference (0.1 fps) to the pipelined demo mode (16 fps).
+
+#include <string>
+#include <vector>
+
+#include "perf/stage_times.hpp"
+#include "pipeline/virtual_time.hpp"
+
+namespace tincy::perf {
+
+struct LadderStep {
+  std::string name;
+  StageTimes times;          ///< sequential per-frame stage decomposition
+  double fps = 0.0;          ///< achieved frame rate after this step
+  double speedup_total = 1.0;    ///< vs. the generic baseline
+  double speedup_previous = 1.0; ///< vs. the preceding step
+  bool pipelined = false;    ///< true for the final multi-threaded step
+};
+
+/// Computes the full ladder on the given platform model. Steps:
+///   1. generic Darknet, Tiny YOLO, float (Table III);
+///   2. + FINN fabric offload of the hidden layers (W1A3);
+///   3. + gemmlowp 8-bit input layer;
+///   4. + fused NEON im2col+GEMM input layer (float);
+///   5. + specialized 16×27 float kernel;
+///   6. + 16×27 kernel, 8-bit, 32-bit accumulators;
+///   7. + 16×27 kernel, 8-bit, 16-bit accumulators;
+///   8. + algorithmic simplification (Tincy YOLO topology);
+///   9. + pipelined demo mode on all four cores.
+std::vector<LadderStep> optimization_ladder(const ZynqPlatform& platform);
+
+/// The Fig. 5 stage list (virtual-time form) of the final configuration,
+/// including the per-stage synchronization overhead; used for step 9 and
+/// by the Fig. 5/6 benches.
+std::vector<pipeline::TimedStage> pipelined_stages(
+    const ZynqPlatform& platform, const StageTimes& times);
+
+}  // namespace tincy::perf

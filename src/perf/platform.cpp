@@ -1,0 +1,25 @@
+#include "perf/platform.hpp"
+
+namespace tincy::perf {
+
+double ZynqPlatform::first_layer_speedup(FirstLayerImpl impl) const {
+  // §III-D measurements: 620 ms generic → 280 ms (gemmlowp, 2.2×) →
+  // fused float 2.1× → specialized 160 / 140 / 120 ms.
+  switch (impl) {
+    case FirstLayerImpl::kGeneric:
+      return 1.0;
+    case FirstLayerImpl::kLowpGemm:
+      return 2.2;
+    case FirstLayerImpl::kFusedF32:
+      return 2.1;
+    case FirstLayerImpl::kSpecF32:
+      return 620.0 / 160.0;
+    case FirstLayerImpl::kSpecAcc32:
+      return 620.0 / 140.0;
+    case FirstLayerImpl::kSpecAcc16:
+      return 620.0 / 120.0;
+  }
+  return 1.0;
+}
+
+}  // namespace tincy::perf

@@ -1,0 +1,128 @@
+#include "perf/stage_times.hpp"
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "fabric/folding.hpp"
+#include "fabric/pool_unit.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/maxpool_layer.hpp"
+
+namespace tincy::perf {
+namespace {
+
+/// Index of the final convolutional layer (the 1×1 output conv).
+int64_t output_conv_index(const nn::Network& net) {
+  for (int64_t i = net.num_layers() - 1; i >= 0; --i)
+    if (dynamic_cast<const nn::ConvLayer*>(&net.layer(i))) return i;
+  throw Error("network has no convolutional layer");
+}
+
+}  // namespace
+
+double generic_conv_ms(const nn::Network& net, int64_t layer_index,
+                       const ZynqPlatform& p) {
+  const auto* conv =
+      dynamic_cast<const nn::ConvLayer*>(&net.layer(layer_index));
+  TINCY_CHECK_MSG(conv != nullptr, "layer " << layer_index << " is not conv");
+  const auto& g = conv->geometry();
+  const double gemm_ops =
+      2.0 * static_cast<double>(g.patch_size()) *
+      static_cast<double>(conv->config().filters) *
+      static_cast<double>(g.num_patches());
+  double seconds = gemm_ops / p.scalar_gemm_ops_per_sec;
+  if (g.kernel > 1) {
+    // Explicit im2col materializes patch_size × num_patches elements.
+    const double elems = static_cast<double>(g.patch_size()) *
+                         static_cast<double>(g.num_patches());
+    seconds += elems / p.im2col_elems_per_sec;
+  }
+  return seconds * 1000.0;
+}
+
+double pool_ms(const nn::Network& net, int64_t layer_index,
+               const ZynqPlatform& p) {
+  const auto* pool =
+      dynamic_cast<const nn::MaxPoolLayer*>(&net.layer(layer_index));
+  TINCY_CHECK_MSG(pool != nullptr, "layer " << layer_index << " is not pool");
+  const Shape out = pool->output_shape();
+  const double cmps = static_cast<double>(pool->config().size) *
+                      static_cast<double>(pool->config().size) *
+                      static_cast<double>(out.numel());
+  return cmps / p.pool_cmps_per_sec * 1000.0;
+}
+
+double fabric_hidden_ms(const nn::Network& net, const ZynqPlatform& p) {
+  const int64_t out_conv = output_conv_index(net);
+  const auto& model = p.fabric_model;
+  // Hidden region: everything after the input conv (and its optional
+  // pool) up to the output conv. Convs run on the MVTU; each pool fuses
+  // into the preceding conv's stage (no extra invocation).
+  int64_t begin = 1;
+  if (begin < net.num_layers() &&
+      dynamic_cast<const nn::MaxPoolLayer*>(&net.layer(begin)))
+    ++begin;
+
+  double cycles = 0.0;
+  for (int64_t i = begin; i < out_conv; ++i) {
+    if (const auto* conv =
+            dynamic_cast<const nn::ConvLayer*>(&net.layer(i))) {
+      const auto& g = conv->geometry();
+      const fabric::MatrixShape m{conv->config().filters, g.patch_size()};
+      cycles += static_cast<double>(fabric::fold_cycles_per_layer(
+          m, model.folding, /*act_bits=*/3, g.num_patches()));
+      // Weight streaming (layer-at-a-time) and feature-map DMA.
+      const double weight_bits = static_cast<double>(m.rows * m.cols);
+      const double in_bits =
+          static_cast<double>(g.in_channels * g.in_height * g.in_width) * 3;
+      const double out_bits =
+          static_cast<double>(conv->output_shape().numel()) * 3;
+      cycles += (weight_bits + in_bits + out_bits) / model.ddr_bits_per_cycle;
+      cycles += static_cast<double>(model.invocation_overhead_cycles);
+    } else if (const auto* pool = dynamic_cast<const nn::MaxPoolLayer*>(
+                   &net.layer(i))) {
+      const Shape in = net.layer_input_shape(i);
+      const fabric::PoolSpec ps{in.channels(), in.height(), in.width(),
+                                pool->config().size, pool->config().stride};
+      cycles += static_cast<double>(
+          fabric::pool_cycles(ps, model.folding.pe));
+    }
+  }
+  return cycles / (model.clock_mhz * 1e3);
+}
+
+StageTimes model_stage_times(const nn::Network& net, const ZynqPlatform& p,
+                             FirstLayerImpl first, HiddenImpl hidden) {
+  const int64_t out_conv = output_conv_index(net);
+  TINCY_CHECK_MSG(out_conv >= 1, "degenerate topology");
+
+  StageTimes t;
+  t.acquisition_ms = p.acquisition_ms;
+  t.box_drawing_ms = p.box_drawing_ms;
+  t.image_output_ms = p.image_output_ms;
+
+  t.input_layer_ms =
+      generic_conv_ms(net, 0, p) / p.first_layer_speedup(first);
+
+  int64_t hidden_begin = 1;
+  if (dynamic_cast<const nn::MaxPoolLayer*>(&net.layer(1))) {
+    t.first_pool_ms = pool_ms(net, 1, p);
+    hidden_begin = 2;
+  }
+
+  if (hidden == HiddenImpl::kFabric) {
+    t.hidden_layers_ms = fabric_hidden_ms(net, p);
+  } else {
+    for (int64_t i = hidden_begin; i < out_conv; ++i) {
+      if (dynamic_cast<const nn::ConvLayer*>(&net.layer(i)))
+        t.hidden_layers_ms += generic_conv_ms(net, i, p);
+      else if (dynamic_cast<const nn::MaxPoolLayer*>(&net.layer(i)))
+        t.hidden_layers_ms += pool_ms(net, i, p);
+    }
+  }
+
+  t.output_layer_ms = generic_conv_ms(net, out_conv, p);
+  return t;
+}
+
+}  // namespace tincy::perf

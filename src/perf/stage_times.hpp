@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file stage_times.hpp
+/// Predicts the per-stage frame processing times of Table III for any
+/// network variant and implementation choice.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "perf/platform.hpp"
+
+namespace tincy::perf {
+
+/// The stage decomposition of Table III.
+struct StageTimes {
+  double acquisition_ms = 0.0;
+  double input_layer_ms = 0.0;
+  double first_pool_ms = 0.0;  ///< 0 when the variant dropped it (mod (d))
+  double hidden_layers_ms = 0.0;
+  double output_layer_ms = 0.0;
+  double box_drawing_ms = 0.0;
+  double image_output_ms = 0.0;
+
+  double total_ms() const {
+    return acquisition_ms + input_layer_ms + first_pool_ms +
+           hidden_layers_ms + output_layer_ms + box_drawing_ms +
+           image_output_ms;
+  }
+  double fps() const { return total_ms() > 0.0 ? 1000.0 / total_ms() : 0.0; }
+};
+
+/// Modeled time of one convolutional layer on the generic CPU path
+/// (GEMM ops at the scalar rate + im2col materialization; 1×1 kernels
+/// skip im2col as Darknet does).
+double generic_conv_ms(const nn::Network& net, int64_t layer_index,
+                       const ZynqPlatform& p);
+
+/// Modeled time of one maxpool layer on the CPU (all channels).
+double pool_ms(const nn::Network& net, int64_t layer_index,
+               const ZynqPlatform& p);
+
+/// Modeled PL time for the network's hidden layers on the accelerator
+/// (binary weights, 3-bit activations; the paper's "30 ms" stage).
+double fabric_hidden_ms(const nn::Network& net, const ZynqPlatform& p);
+
+/// Full Table-III-style stage decomposition for the given network.
+/// The network must be a Tiny/Tincy-YOLO-shaped topology: input conv,
+/// optional pool, hidden conv/pool ladder, 1×1 output conv, region.
+StageTimes model_stage_times(const nn::Network& net, const ZynqPlatform& p,
+                             FirstLayerImpl first, HiddenImpl hidden);
+
+}  // namespace tincy::perf

@@ -1,0 +1,82 @@
+#include "pipeline/demo.hpp"
+
+#include "core/errors.hpp"
+#include "data/image.hpp"
+#include "detect/decode.hpp"
+#include "detect/nms.hpp"
+#include "nn/region_layer.hpp"
+#include "video/draw.hpp"
+
+namespace tincy::pipeline {
+
+std::vector<Stage> make_demo_stages(nn::Network& net, const DemoConfig& cfg) {
+  TINCY_CHECK_MSG(net.num_layers() >= 1, "empty network");
+  auto* region =
+      dynamic_cast<nn::RegionLayer*>(&net.layer(net.num_layers() - 1));
+  TINCY_CHECK_MSG(region != nullptr,
+                  "demo pipeline expects the network to end in [region]");
+  const int64_t input_size = net.input_shape().height();
+  TINCY_CHECK_MSG(net.input_shape().width() == input_size,
+                  "demo expects a square network input");
+
+  std::vector<Stage> stages;
+
+  // #0 Read Frame — the camera pull happens in the pipeline's source hook;
+  // this stage represents the capture/copy cost as its own job slot (the
+  // paper split image acquisition into camera access and scaling).
+  stages.push_back({"read_frame", [](video::Frame&) {}});
+
+  // #1 Letter Boxing.
+  stages.push_back({"letterbox", [input_size](video::Frame& f) {
+                      f.boxed = data::letterbox(f.image, input_size);
+                    }});
+
+  // #2 .. N+1: one stage per network layer, on per-frame buffers.
+  for (int64_t i = 0; i < net.num_layers(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    const bool first = i == 0;
+    stages.push_back(
+        {"L[" + std::to_string(i) + "] " + layer.type_name(),
+         [&layer, first](video::Frame& f) {
+           Tensor out(layer.output_shape());
+           layer.forward(first ? f.boxed : f.features, out);
+           f.features = std::move(out);
+         }});
+  }
+
+  // #N+2 Object Boxing: decode + NMS, boxes mapped back to camera space.
+  const nn::RegionConfig region_cfg = region->config();
+  const float thresh = cfg.detect_threshold;
+  const float nms_iou = cfg.nms_iou;
+  stages.push_back(
+      {"object_boxing",
+       [region_cfg, thresh, nms_iou, input_size](video::Frame& f) {
+         auto dets = detect::decode_region(f.features, region_cfg, thresh);
+         dets = detect::nms(std::move(dets), nms_iou);
+         const int64_t w = f.image.shape().width();
+         const int64_t h = f.image.shape().height();
+         for (auto& d : dets)
+           data::unletterbox_box(d.box.x, d.box.y, d.box.w, d.box.h, w, h,
+                                 input_size);
+         f.detections = std::move(dets);
+       }});
+
+  // #N+3 Frame Drawing.
+  stages.push_back({"frame_drawing", [](video::Frame& f) {
+                      video::draw_detections(f.image, f.detections);
+                    }});
+
+  return stages;
+}
+
+DemoResult run_demo(video::SyntheticCamera& camera, nn::Network& net,
+                    video::OrderCheckingSink& sink, int64_t num_frames,
+                    const DemoConfig& cfg) {
+  Pipeline pipeline(
+      make_demo_stages(net, cfg), [&camera] { return camera.read_frame(); },
+      [&sink](const video::Frame& f) { sink.push(f); }, cfg.num_workers);
+  pipeline.run(num_frames);
+  return {pipeline.stats(), pipeline.elapsed_seconds(), pipeline.fps()};
+}
+
+}  // namespace tincy::pipeline

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file demo.hpp
+/// Assembly of the paper's new demo mode (Fig. 5): a pipeline that is four
+/// stages longer than the user-specified network —
+///   #0 Read Frame, #1 Letter Boxing, #2..N+1 the network layers
+///   (the forward pass "disintegrated" into per-layer jobs),
+///   #N+2 Object Boxing, #N+3 Frame Drawing —
+/// feeding an always-free sink.
+
+#include <functional>
+
+#include "nn/network.hpp"
+#include "pipeline/pipeline.hpp"
+#include "video/camera.hpp"
+#include "video/sink.hpp"
+
+namespace tincy::pipeline {
+
+struct DemoConfig {
+  int num_workers = 4;            ///< worker threads (paper: 4 × A53)
+  float detect_threshold = 0.3f;  ///< objectness/score threshold
+  float nms_iou = 0.45f;          ///< NMS overlap threshold
+};
+
+/// Builds the Fig. 5 stage list around `net`. The network must end in a
+/// region layer; each layer becomes one stage operating on per-frame
+/// buffers so concurrent frames never share activation storage.
+std::vector<Stage> make_demo_stages(nn::Network& net, const DemoConfig& cfg);
+
+/// Outcome of a demo run.
+struct DemoResult {
+  std::vector<StageStats> stats;
+  double elapsed_seconds = 0.0;
+  double fps = 0.0;
+};
+
+/// Convenience: runs `num_frames` camera frames through the demo pipeline
+/// into `sink`.
+DemoResult run_demo(video::SyntheticCamera& camera, nn::Network& net,
+                    video::OrderCheckingSink& sink, int64_t num_frames,
+                    const DemoConfig& cfg = {});
+
+}  // namespace tincy::pipeline

@@ -1,0 +1,154 @@
+#include "pipeline/pipeline.hpp"
+
+#include <chrono>
+#include <algorithm>
+
+#include "core/errors.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+namespace tincy::pipeline {
+
+Pipeline::Pipeline(std::vector<Stage> stages,
+                   std::function<video::Frame()> source,
+                   std::function<void(const video::Frame&)> sink,
+                   int num_workers)
+    : stages_(std::move(stages)),
+      source_(std::move(source)),
+      sink_(std::move(sink)),
+      num_workers_(num_workers) {
+  TINCY_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+  TINCY_CHECK_MSG(num_workers_ >= 1, "num_workers " << num_workers_);
+  TINCY_CHECK(source_ != nullptr && sink_ != nullptr);
+}
+
+int64_t Pipeline::pick_job_locked() const {
+  // "The most mature one whose output buffer is free and whose input
+  // buffer has data pending" — scan from the back of the pipeline.
+  for (int64_t i = static_cast<int64_t>(stages_.size()) - 1; i >= 0; --i) {
+    const Slot& out = slots_[static_cast<size_t>(i)];
+    if (out.reserved || out.frame.has_value()) continue;  // output not free
+    if (i == 0) {
+      if (frames_pulled_ < frames_to_pull_) return 0;  // source always avail
+      continue;
+    }
+    if (slots_[static_cast<size_t>(i - 1)].frame.has_value()) return i;
+  }
+  return -1;
+}
+
+void Pipeline::worker_loop(int worker_index) {
+#ifdef __linux__
+  // "One worker thread is allocated for each available core and tied to
+  // it" — best-effort pinning on the host.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  CPU_SET(static_cast<unsigned>(worker_index) % ncpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+  (void)worker_index;
+#endif
+
+  std::unique_lock lock(mutex_);
+  while (true) {
+    int64_t job = -1;
+    cv_.wait(lock, [&] {
+      job = pick_job_locked();
+      return stopping_ || frames_sunk_ == frames_total_ || job >= 0;
+    });
+    if (stopping_ || frames_sunk_ == frames_total_) return;
+
+    // Claim the job: reserve the output slot and take the input frame.
+    Slot& out = slots_[static_cast<size_t>(job)];
+    out.reserved = true;
+    video::Frame frame;
+    if (job == 0) {
+      ++frames_pulled_;
+    } else {
+      Slot& in = slots_[static_cast<size_t>(job - 1)];
+      frame = std::move(*in.frame);
+      in.frame.reset();  // input buffer becomes free (Fig. 6)
+    }
+    lock.unlock();
+    cv_.notify_all();  // freeing the input slot may enable upstream work
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (job == 0) frame = source_();  // serialized: slot 0 is reserved
+    stages_[static_cast<size_t>(job)].work(frame);
+    const bool is_last = job == static_cast<int64_t>(stages_.size()) - 1;
+    if (is_last) sink_(frame);  // "the video sink is always free"
+    const auto t1 = std::chrono::steady_clock::now();
+
+    lock.lock();
+    auto& st = stats_[static_cast<size_t>(job)];
+    ++st.jobs;
+    st.busy_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.reserved = false;
+    if (job == 0) frame_start_[frame.sequence] = t0;
+    if (is_last) {
+      ++frames_sunk_;
+      const auto it = frame_start_.find(frame.sequence);
+      if (it != frame_start_.end()) {
+        frame_latency_ms_.push_back(
+            std::chrono::duration<double, std::milli>(t1 - it->second)
+                .count());
+        frame_start_.erase(it);
+      }
+    } else {
+      out.frame = std::move(frame);  // stays pending until consumed
+    }
+    lock.unlock();
+    cv_.notify_all();
+    lock.lock();
+  }
+}
+
+void Pipeline::run(int64_t num_frames) {
+  TINCY_CHECK_MSG(num_frames >= 1, "num_frames " << num_frames);
+  {
+    std::lock_guard lock(mutex_);
+    slots_.assign(stages_.size(), Slot{});
+    frames_to_pull_ = num_frames;
+    frames_pulled_ = 0;
+    frames_sunk_ = 0;
+    frames_total_ = num_frames;
+    stopping_ = false;
+    stats_.clear();
+    for (const auto& s : stages_) stats_.push_back({s.name, 0, 0.0});
+    frame_start_.clear();
+    frame_latency_ms_.clear();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w)
+    workers.emplace_back([this, w] { worker_loop(w); });
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  elapsed_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+double Pipeline::fps() const {
+  return elapsed_seconds_ > 0.0
+             ? static_cast<double>(frames_total_) / elapsed_seconds_
+             : 0.0;
+}
+
+double Pipeline::mean_latency_ms() const {
+  if (frame_latency_ms_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : frame_latency_ms_) sum += v;
+  return sum / static_cast<double>(frame_latency_ms_.size());
+}
+
+double Pipeline::max_latency_ms() const {
+  double mx = 0.0;
+  for (const double v : frame_latency_ms_) mx = std::max(mx, v);
+  return mx;
+}
+
+}  // namespace tincy::pipeline

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The re-implemented demo mode of §III-F: a frame-processing pipeline
+/// executed by a pool of worker threads.
+///
+/// Semantics reproduced from the paper:
+///  * every stage owns a single-slot output buffer with a free/avail
+///    handshake (Fig. 6);
+///  * "a new job is selected for execution by finding the most mature one
+///    whose output buffer is free and whose input buffer has data
+///    pending";
+///  * "the video source and sink are always available and free,
+///    respectively";
+///  * the scheme prevents one frame overtaking another, maintaining the
+///    correct video sequence;
+///  * one worker thread per available core, pinned to it (pinning is
+///    best-effort on the host).
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace tincy::pipeline {
+
+/// One pipeline stage: a named in-place transformation of a frame.
+struct Stage {
+  std::string name;
+  std::function<void(video::Frame&)> work;
+};
+
+/// Per-stage execution statistics.
+struct StageStats {
+  std::string name;
+  int64_t jobs = 0;
+  double busy_ms = 0.0;  ///< summed wall-clock time inside work()
+};
+
+class Pipeline {
+ public:
+  /// `source` pulls the next raw frame (stage #0's input); it is invoked
+  /// serially. `sink` consumes finished frames; it must be thread-safe or
+  /// effectively serialized by the final stage order (it is: the last
+  /// stage is serialized like every stage).
+  Pipeline(std::vector<Stage> stages,
+           std::function<video::Frame()> source,
+           std::function<void(const video::Frame&)> sink, int num_workers);
+
+  /// Processes exactly `num_frames` frames end to end; blocks until the
+  /// sink has consumed the last one, then joins the workers.
+  void run(int64_t num_frames);
+
+  /// Statistics of the last run().
+  const std::vector<StageStats>& stats() const { return stats_; }
+
+  /// Wall-clock seconds of the last run().
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  /// Frames per second achieved by the last run().
+  double fps() const;
+
+  /// Per-frame latency (source pull to sink delivery) of the last run().
+  double mean_latency_ms() const;
+  double max_latency_ms() const;
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  struct Slot {
+    std::optional<video::Frame> frame;  ///< engaged == "avail" (Fig. 6)
+    bool reserved = false;              ///< a job is producing into it
+  };
+
+  /// Index of the most mature runnable stage, or -1.
+  int64_t pick_job_locked() const;
+  void worker_loop(int worker_index);
+
+  std::vector<Stage> stages_;
+  std::function<video::Frame()> source_;
+  std::function<void(const video::Frame&)> sink_;
+  int num_workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;  ///< slots_[i]: output buffer of stage i
+  int64_t frames_to_pull_ = 0;
+  int64_t frames_pulled_ = 0;
+  int64_t frames_sunk_ = 0;
+  int64_t frames_total_ = 0;
+  bool stopping_ = false;
+
+  std::vector<StageStats> stats_;
+  double elapsed_seconds_ = 0.0;
+  std::unordered_map<int64_t, std::chrono::steady_clock::time_point>
+      frame_start_;                      ///< sequence -> source pull time
+  std::vector<double> frame_latency_ms_;
+};
+
+}  // namespace tincy::pipeline

@@ -1,0 +1,176 @@
+#include "pipeline/virtual_time.hpp"
+
+#include <limits>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "core/errors.hpp"
+
+namespace tincy::pipeline {
+
+double VirtualRunResult::utilization() const {
+  if (core_busy_ms.empty() || makespan_ms <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const double b : core_busy_ms) busy += b;
+  return busy / (makespan_ms * static_cast<double>(core_busy_ms.size()));
+}
+
+double sequential_fps(const std::vector<TimedStage>& stages) {
+  double total = 0.0;
+  for (const auto& s : stages) total += s.duration_ms;
+  return total > 0.0 ? 1000.0 / total : 0.0;
+}
+
+VirtualRunResult simulate(const std::vector<TimedStage>& stages,
+                          int num_cores, int64_t num_frames) {
+  TINCY_CHECK(!stages.empty());
+  TINCY_CHECK(num_cores >= 1);
+  TINCY_CHECK(num_frames >= 1);
+  const int64_t S = static_cast<int64_t>(stages.size());
+  constexpr double kUnset = -1.0;
+
+  // start/finish times per (stage, frame).
+  std::vector<std::vector<double>> start(
+      static_cast<size_t>(S),
+      std::vector<double>(static_cast<size_t>(num_frames), kUnset));
+  std::vector<std::vector<double>> finish = start;
+
+  struct Completion {
+    double time;
+    int64_t stage;
+    int64_t frame;
+    int core;
+    bool operator>(const Completion& o) const { return time > o.time; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      events;
+
+  std::vector<double> core_busy(static_cast<size_t>(num_cores), 0.0);
+  std::vector<int> free_cores;
+  for (int c = num_cores - 1; c >= 0; --c) free_cores.push_back(c);
+  std::set<std::string> busy_resources;
+
+  // Per stage, the next frame index awaiting execution (stage-serial).
+  std::vector<int64_t> next_frame(static_cast<size_t>(S), 0);
+
+  double now = 0.0;
+  VirtualRunResult result;
+
+  const auto runnable = [&](int64_t s) -> bool {
+    const int64_t f = next_frame[static_cast<size_t>(s)];
+    if (f >= num_frames) return false;
+    // Input available (upstream finished this frame).
+    if (s > 0 && finish[static_cast<size_t>(s - 1)][static_cast<size_t>(f)] ==
+                     kUnset)
+      return false;
+    if (s > 0 &&
+        finish[static_cast<size_t>(s - 1)][static_cast<size_t>(f)] > now)
+      return false;
+    // Stage-serial execution: the output slot stays reserved while the
+    // stage runs, so frame f cannot start before frame f−1 finished here.
+    if (f > 0) {
+      const double prev =
+          finish[static_cast<size_t>(s)][static_cast<size_t>(f - 1)];
+      if (prev == kUnset || prev > now) return false;
+    }
+    // Output buffer free (downstream consumed the previous frame). The
+    // final stage feeds the always-free sink.
+    if (s + 1 < S && f > 0) {
+      const double consumed =
+          start[static_cast<size_t>(s + 1)][static_cast<size_t>(f - 1)];
+      if (consumed == kUnset || consumed > now) return false;
+    }
+    if (!stages[static_cast<size_t>(s)].exclusive_resource.empty() &&
+        busy_resources.contains(stages[static_cast<size_t>(s)].exclusive_resource))
+      return false;
+    return true;
+  };
+
+  const auto dispatch_all = [&] {
+    // Most mature first: highest stage index, and within a stage the only
+    // candidate is its next frame.
+    bool progress = true;
+    while (progress && !free_cores.empty()) {
+      progress = false;
+      for (int64_t s = S - 1; s >= 0; --s) {
+        if (free_cores.empty()) break;
+        if (!runnable(s)) continue;
+        const int64_t f = next_frame[static_cast<size_t>(s)]++;
+        const int core = free_cores.back();
+        free_cores.pop_back();
+        const double dur = stages[static_cast<size_t>(s)].duration_ms;
+        start[static_cast<size_t>(s)][static_cast<size_t>(f)] = now;
+        result.schedule.push_back({s, f, core, now, now + dur});
+        core_busy[static_cast<size_t>(core)] += dur;
+        if (!stages[static_cast<size_t>(s)].exclusive_resource.empty())
+          busy_resources.insert(stages[static_cast<size_t>(s)].exclusive_resource);
+        events.push({now + dur, s, f, core});
+        progress = true;
+      }
+    }
+  };
+
+  dispatch_all();
+  while (!events.empty()) {
+    const Completion c = events.top();
+    events.pop();
+    now = c.time;
+    finish[static_cast<size_t>(c.stage)][static_cast<size_t>(c.frame)] = now;
+    free_cores.push_back(c.core);
+    if (!stages[static_cast<size_t>(c.stage)].exclusive_resource.empty())
+      busy_resources.erase(stages[static_cast<size_t>(c.stage)].exclusive_resource);
+    if (c.stage == S - 1) result.completion_order.push_back(c.frame);
+    dispatch_all();
+  }
+
+  result.makespan_ms = now;
+  result.core_busy_ms = core_busy;
+  const auto& last = finish[static_cast<size_t>(S - 1)];
+  if (num_frames > 1) {
+    result.fps = 1000.0 * static_cast<double>(num_frames - 1) /
+                 (last[static_cast<size_t>(num_frames - 1)] - last[0]);
+  } else {
+    result.fps = 1000.0 / result.makespan_ms;
+  }
+  result.latency_ms =
+      last[static_cast<size_t>(num_frames - 1)] -
+      start[0][static_cast<size_t>(num_frames - 1)];
+  return result;
+}
+
+std::string render_schedule(const VirtualRunResult& result,
+                            const std::vector<TimedStage>& stages,
+                            int num_cores, double horizon_ms,
+                            double resolution_ms) {
+  TINCY_CHECK(num_cores >= 1 && horizon_ms > 0.0 && resolution_ms > 0.0);
+  const auto columns =
+      static_cast<size_t>(horizon_ms / resolution_ms) + 1;
+  std::vector<std::string> rows(static_cast<size_t>(num_cores),
+                                std::string(columns, '.'));
+  for (const auto& job : result.schedule) {
+    if (job.start_ms >= horizon_ms) continue;
+    const auto c0 = static_cast<size_t>(job.start_ms / resolution_ms);
+    const auto c1 = std::min(
+        columns - 1, static_cast<size_t>(job.finish_ms / resolution_ms));
+    const char mark = static_cast<char>('0' + (job.frame % 10));
+    for (size_t c = c0; c <= c1; ++c)
+      rows[static_cast<size_t>(job.core)][c] = mark;
+  }
+  std::ostringstream os;
+  os << "per-core schedule (one column = " << resolution_ms
+     << " ms; digit = frame id mod 10):\n";
+  for (int core = 0; core < num_cores; ++core)
+    os << "  core " << core << "  |" << rows[static_cast<size_t>(core)]
+       << "|\n";
+  os << "  stages: ";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i) os << ", ";
+    os << stages[i].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace tincy::pipeline

@@ -1,0 +1,82 @@
+#include "quant/affine.hpp"
+
+#include <cmath>
+
+#include "core/fixed_point.hpp"
+
+namespace tincy::quant {
+
+uint8_t AffineParams::quantize(float real) const {
+  const float q = std::round(real / scale) + static_cast<float>(zero_point);
+  return static_cast<uint8_t>(std::clamp(q, 0.0f, 255.0f));
+}
+
+AffineParams choose_affine_params(float rmin, float rmax) {
+  // Widen the range to include zero so that 0.0 has an exact code.
+  rmin = std::min(rmin, 0.0f);
+  rmax = std::max(rmax, 0.0f);
+  if (rmin == rmax) return {1.0f, 0};
+
+  AffineParams p;
+  p.scale = (rmax - rmin) / 255.0f;
+  // zero_point is the code whose dequantized value is exactly 0.
+  const float zp = -rmin / p.scale;
+  p.zero_point = static_cast<int32_t>(std::lround(std::clamp(zp, 0.0f, 255.0f)));
+  return p;
+}
+
+std::pair<float, float> min_max(const Tensor& t) {
+  if (t.empty()) return {0.0f, 0.0f};
+  float lo = t[0], hi = t[0];
+  for (int64_t i = 1; i < t.numel(); ++i) {
+    lo = std::min(lo, t[i]);
+    hi = std::max(hi, t[i]);
+  }
+  return {lo, hi};
+}
+
+TensorU8 quantize(const Tensor& t, const AffineParams& params) {
+  TensorU8 q(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) q[i] = params.quantize(t[i]);
+  return q;
+}
+
+Tensor dequantize(const TensorU8& t, const AffineParams& params) {
+  Tensor r(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) r[i] = params.dequantize(t[i]);
+  return r;
+}
+
+uint8_t Requantizer::apply(int32_t acc) const {
+  const int32_t scaled =
+      multiply_by_quantized_multiplier(acc, multiplier, right_shift);
+  return saturate_cast<uint8_t>(static_cast<int64_t>(scaled) +
+                                output_zero_point);
+}
+
+Requantizer make_requantizer(float lhs_scale, float rhs_scale,
+                             const AffineParams& out) {
+  const double m = static_cast<double>(lhs_scale) * rhs_scale / out.scale;
+  TINCY_CHECK_MSG(m > 0.0 && m < 1.0, "real multiplier " << m);
+  // Normalize m into [0.5, 1) * 2^-shift, then express as Q0.31.
+  int shift = 0;
+  double frac = m;
+  while (frac < 0.5) {
+    frac *= 2.0;
+    ++shift;
+  }
+  Requantizer r;
+  const auto q31 = static_cast<int64_t>(std::lround(frac * (1ll << 31)));
+  // Rounding can push frac to exactly 2^31; fold back into the shift.
+  if (q31 == (1ll << 31)) {
+    r.multiplier = 1 << 30;
+    r.right_shift = shift - 1;
+  } else {
+    r.multiplier = static_cast<int32_t>(q31);
+    r.right_shift = shift;
+  }
+  r.output_zero_point = out.zero_point;
+  return r;
+}
+
+}  // namespace tincy::quant

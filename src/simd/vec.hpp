@@ -1,0 +1,193 @@
+#pragma once
+
+/// \file vec.hpp
+/// Portable SIMD vector types mirroring ARM NEON semantics.
+///
+/// The paper exploits the Cortex-A53's NEON unit: 128-bit registers split
+/// into 4 single-precision lanes, 8 16-bit lanes or 16 8-bit lanes. The
+/// host in this reproduction is x86, so these classes provide the same
+/// *lane model and arithmetic semantics* (including NEON's saturating and
+/// rounding behaviours) in portable C++; modern compilers auto-vectorize
+/// the fixed-trip-count lane loops. Each operation documents the NEON
+/// instruction it models so the kernels in src/gemm read like their
+/// intrinsics-based originals.
+
+#include <array>
+#include <cstdint>
+
+#include "core/fixed_point.hpp"
+
+namespace tincy::simd {
+
+/// Fixed-width vector of N lanes of T. Aggregate; value-semantic.
+template <typename T, int N>
+struct Vec {
+  static constexpr int kLanes = N;
+  using lane_type = T;
+
+  std::array<T, N> lane{};
+
+  /// Loads N contiguous lanes (NEON VLD1).
+  static Vec load(const T* p) {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = p[i];
+    return v;
+  }
+
+  /// Broadcasts a scalar into every lane (NEON VDUP).
+  static Vec splat(T x) {
+    Vec v;
+    v.lane.fill(x);
+    return v;
+  }
+
+  /// Stores N contiguous lanes (NEON VST1).
+  void store(T* p) const {
+    for (int i = 0; i < N; ++i) p[i] = lane[i];
+  }
+
+  T operator[](int i) const { return lane[static_cast<size_t>(i)]; }
+  T& operator[](int i) { return lane[static_cast<size_t>(i)]; }
+
+  bool operator==(const Vec&) const = default;
+};
+
+// NEON 128-bit register views used by the kernels.
+using F32x4 = Vec<float, 4>;
+using I32x4 = Vec<int32_t, 4>;
+using I16x8 = Vec<int16_t, 8>;
+using I8x16 = Vec<int8_t, 16>;
+using U8x16 = Vec<uint8_t, 16>;
+using I8x8 = Vec<int8_t, 8>;    // 64-bit D-register view feeding VMULL.
+using I16x4 = Vec<int16_t, 4>;  // 64-bit D-register view feeding VMULL.
+
+/// Lane-wise addition (VADD).
+template <typename T, int N>
+Vec<T, N> add(Vec<T, N> a, Vec<T, N> b) {
+  for (int i = 0; i < N; ++i) a.lane[i] = static_cast<T>(a.lane[i] + b.lane[i]);
+  return a;
+}
+
+/// Lane-wise subtraction (VSUB).
+template <typename T, int N>
+Vec<T, N> sub(Vec<T, N> a, Vec<T, N> b) {
+  for (int i = 0; i < N; ++i) a.lane[i] = static_cast<T>(a.lane[i] - b.lane[i]);
+  return a;
+}
+
+/// Lane-wise multiplication (VMUL).
+template <typename T, int N>
+Vec<T, N> mul(Vec<T, N> a, Vec<T, N> b) {
+  for (int i = 0; i < N; ++i) a.lane[i] = static_cast<T>(a.lane[i] * b.lane[i]);
+  return a;
+}
+
+/// Multiply-accumulate acc += a*b (VMLA).
+template <typename T, int N>
+Vec<T, N> mla(Vec<T, N> acc, Vec<T, N> a, Vec<T, N> b) {
+  for (int i = 0; i < N; ++i)
+    acc.lane[i] = static_cast<T>(acc.lane[i] + a.lane[i] * b.lane[i]);
+  return acc;
+}
+
+/// Lane-wise saturating addition for narrow signed integers (VQADD).
+template <typename T, int N>
+Vec<T, N> saturating_add(Vec<T, N> a, Vec<T, N> b) {
+  for (int i = 0; i < N; ++i)
+    a.lane[i] = tincy::saturating_add<T>(a.lane[i], b.lane[i]);
+  return a;
+}
+
+/// Rounding arithmetic shift right by a compile-time-ish amount (VRSHR).
+template <typename T, int N>
+Vec<T, N> rounding_shift_right(Vec<T, N> a, int n) {
+  for (int i = 0; i < N; ++i)
+    a.lane[i] = tincy::rounding_right_shift<T>(a.lane[i], n);
+  return a;
+}
+
+/// Widening multiply of signed 8-bit D-registers: i8x8 * i8x8 -> i16x8
+/// (VMULL.S8). Products of two 8-bit values always fit in 16 bits.
+inline I16x8 widening_mul(I8x8 a, I8x8 b) {
+  I16x8 r;
+  for (int i = 0; i < 8; ++i)
+    r.lane[i] = static_cast<int16_t>(static_cast<int16_t>(a.lane[i]) *
+                                     static_cast<int16_t>(b.lane[i]));
+  return r;
+}
+
+/// Widening multiply of signed 16-bit D-registers: i16x4 * i16x4 -> i32x4
+/// (VMULL.S16).
+inline I32x4 widening_mul(I16x4 a, I16x4 b) {
+  I32x4 r;
+  for (int i = 0; i < 4; ++i)
+    r.lane[i] = static_cast<int32_t>(a.lane[i]) * static_cast<int32_t>(b.lane[i]);
+  return r;
+}
+
+/// Pairwise add-and-accumulate-long: acc_i32x4 += pairwise_sums(i16x8)
+/// (VPADAL.S16). The widening sum cannot overflow int32 for realistic
+/// kernel depths.
+inline I32x4 pairwise_add_accumulate_long(I32x4 acc, I16x8 x) {
+  for (int i = 0; i < 4; ++i)
+    acc.lane[i] += static_cast<int32_t>(x.lane[2 * i]) +
+                   static_cast<int32_t>(x.lane[2 * i + 1]);
+  return acc;
+}
+
+/// Horizontal sum of all lanes (VPADD cascade / VADDV on AArch64).
+template <typename T, int N>
+auto horizontal_sum(Vec<T, N> v) {
+  using Acc = std::conditional_t<std::is_floating_point_v<T>, T, int64_t>;
+  Acc s{};
+  for (int i = 0; i < N; ++i) s += v.lane[i];
+  return s;
+}
+
+/// Splits a 128-bit register into low/high 64-bit D-register halves
+/// (VGET_LOW / VGET_HIGH).
+template <typename T, int N>
+std::pair<Vec<T, N / 2>, Vec<T, N / 2>> split(Vec<T, N> v) {
+  static_assert(N % 2 == 0);
+  Vec<T, N / 2> lo, hi;
+  for (int i = 0; i < N / 2; ++i) {
+    lo.lane[i] = v.lane[i];
+    hi.lane[i] = v.lane[i + N / 2];
+  }
+  return {lo, hi};
+}
+
+/// Saturating narrow of two i32x4 into one i16x8 (VQMOVN.S32 pair).
+inline I16x8 saturating_narrow(I32x4 lo, I32x4 hi) {
+  I16x8 r;
+  for (int i = 0; i < 4; ++i) {
+    r.lane[i] = tincy::saturate_cast<int16_t>(lo.lane[i]);
+    r.lane[i + 4] = tincy::saturate_cast<int16_t>(hi.lane[i]);
+  }
+  return r;
+}
+
+/// Saturating narrow of two i16x8 into one i8x16 (VQMOVN.S16 pair).
+inline I8x16 saturating_narrow(I16x8 lo, I16x8 hi) {
+  I8x16 r;
+  for (int i = 0; i < 8; ++i) {
+    r.lane[i] = tincy::saturate_cast<int8_t>(lo.lane[i]);
+    r.lane[i + 8] = tincy::saturate_cast<int8_t>(hi.lane[i]);
+  }
+  return r;
+}
+
+/// Zero-extending widen of unsigned 8-bit lanes to 16-bit (VMOVL.U8),
+/// returned as signed lanes ready for signed arithmetic.
+inline I16x8 widen_low(U8x16 v) {
+  I16x8 r;
+  for (int i = 0; i < 8; ++i) r.lane[i] = static_cast<int16_t>(v.lane[i]);
+  return r;
+}
+inline I16x8 widen_high(U8x16 v) {
+  I16x8 r;
+  for (int i = 0; i < 8; ++i) r.lane[i] = static_cast<int16_t>(v.lane[i + 8]);
+  return r;
+}
+
+}  // namespace tincy::simd

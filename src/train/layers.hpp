@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file layers.hpp
+/// Trainable layers with backward passes — the substrate standing in for
+/// the paper's off-device GPU (re)training. Quantization-aware training
+/// follows Hubara et al. / Courbariaux: binary weights and quantized
+/// activations in the forward pass, straight-through estimators (STE) in
+/// the backward pass, float master weights updated by the optimizer.
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "gemm/im2col.hpp"
+#include "nn/activation.hpp"
+
+namespace tincy::train {
+
+/// A trainable layer: forward caches whatever backward needs.
+class TrainLayer {
+ public:
+  virtual ~TrainLayer() = default;
+
+  virtual Shape output_shape() const = 0;
+
+  /// Forward for one sample; input kept alive by the caller (Model).
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward: gradient w.r.t. this layer's input, accumulating parameter
+  /// gradients internally. Must follow a forward() on the same input.
+  virtual Tensor backward(const Tensor& input, const Tensor& grad_out) = 0;
+
+  /// Parameter / gradient / momentum triples for the optimizer; empty for
+  /// parameterless layers.
+  struct Param {
+    Tensor* value;
+    Tensor* grad;
+    Tensor* momentum;
+    bool clamp_unit;  ///< clamp to [-1, 1] after update (binary masters)
+  };
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  virtual void zero_grad() {}
+};
+
+/// Quantization configuration of one trainable conv layer.
+struct TrainConvConfig {
+  int64_t filters = 16;
+  int64_t size = 3;
+  int64_t stride = 1;
+  bool pad = true;
+  nn::Activation activation = nn::Activation::kLeaky;
+  bool binary_weights = false;  ///< W1 via sign + STE
+  int act_bits = 32;            ///< <8: A-bit uniform activation + STE
+  float out_scale = 0.2f;       ///< activation grid when act_bits < 8
+  /// Learnable per-channel scale α_c on the raw accumulator, the trainable
+  /// stand-in for batch norm that binary-weight layers need (it folds into
+  /// the activation thresholds at deployment exactly as BN does). Enabled
+  /// automatically for binary_weights layers.
+  bool channel_scale = false;
+  /// W1A1: activations binarize to ±out_scale via sign; backward uses the
+  /// hard-tanh straight-through estimator (gradient passes for |pre| ≤ 1).
+  /// Requires act_bits == 1 and a linear activation.
+  bool bipolar = false;
+};
+
+class TrainConvLayer final : public TrainLayer {
+ public:
+  TrainConvLayer(const TrainConvConfig& cfg, Shape input_shape, Rng& rng);
+
+  Shape output_shape() const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& input, const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  void zero_grad() override;
+
+  const TrainConvConfig& config() const { return cfg_; }
+  const gemm::ConvGeometry& geometry() const { return geom_; }
+  /// Float master weights (filters × patch) and biases.
+  const Tensor& weights() const { return weights_; }
+  const Tensor& biases() const { return biases_; }
+
+  /// Replaces weights and biases (shapes must match) — warm starts.
+  void set_parameters(const Tensor& weights, const Tensor& biases);
+  /// Per-channel accumulator scales (empty unless channel_scale).
+  const Tensor& channel_scales() const { return scales_; }
+  bool has_channel_scale() const { return cfg_.channel_scale; }
+
+ private:
+  /// Weights as used in the forward pass (sign(w) when binary).
+  Tensor effective_weights() const;
+
+  TrainConvConfig cfg_;
+  gemm::ConvGeometry geom_;
+  Tensor weights_, biases_;
+  Tensor grad_weights_, grad_biases_;
+  Tensor mom_weights_, mom_biases_;
+  Tensor scales_, grad_scales_, mom_scales_;  // per-channel α
+
+  // Forward caches for backward.
+  Tensor cached_columns_;   // im2col of the input
+  Tensor cached_acc_;       // raw conv accumulator (before α/bias)
+  Tensor cached_preact_;    // pre-activation (α·acc + bias)
+  Tensor cached_postact_;   // after activation, before act quantization
+};
+
+class TrainMaxPoolLayer final : public TrainLayer {
+ public:
+  TrainMaxPoolLayer(int64_t size, int64_t stride, Shape input_shape);
+
+  Shape output_shape() const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& input, const Tensor& grad_out) override;
+
+ private:
+  int64_t size_, stride_;
+  Shape in_shape_;
+  int64_t out_h_ = 0, out_w_ = 0;
+  std::vector<int64_t> argmax_;  // flat input index winning each output
+};
+
+}  // namespace tincy::train

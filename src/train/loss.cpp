@@ -1,0 +1,161 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "core/errors.hpp"
+
+namespace tincy::train {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+RegionLossResult region_loss(const Tensor& raw,
+                             const std::vector<detect::GroundTruth>& truth,
+                             const RegionLossConfig& cfg) {
+  TINCY_CHECK(raw.shape().rank() == 3);
+  const int64_t H = raw.shape().height(), W = raw.shape().width();
+  const int64_t cell = H * W;
+  const int64_t per_anchor = cfg.coords + 1 + cfg.classes;
+  TINCY_CHECK(raw.shape().channels() == cfg.num * per_anchor);
+  TINCY_CHECK(static_cast<int64_t>(cfg.anchors.size()) == 2 * cfg.num);
+
+  RegionLossResult r;
+  r.grad = Tensor(raw.shape());
+
+  const auto idx = [&](int64_t a, int64_t ch, int64_t i) {
+    return (a * per_anchor + ch) * cell + i;
+  };
+
+  // Pass 1: every slot starts as a no-object slot.
+  double loss = 0.0;
+  for (int64_t a = 0; a < cfg.num; ++a) {
+    for (int64_t i = 0; i < cell; ++i) {
+      const float to = raw[idx(a, cfg.coords, i)];
+      const float obj = sigmoid(to);
+      loss += cfg.noobject_scale * obj * obj;
+      r.grad[idx(a, cfg.coords, i)] =
+          cfg.noobject_scale * 2.0f * obj * obj * (1.0f - obj);
+    }
+  }
+
+  // Pass 2: assign each ground-truth object to (cell, best anchor).
+  for (const auto& gt : truth) {
+    const auto col = std::min<int64_t>(
+        W - 1, static_cast<int64_t>(gt.box.x * static_cast<float>(W)));
+    const auto row = std::min<int64_t>(
+        H - 1, static_cast<int64_t>(gt.box.y * static_cast<float>(H)));
+    const int64_t i = row * W + col;
+
+    // Best anchor by shape-only IoU (boxes co-centered at the origin).
+    int64_t best_a = 0;
+    float best_shape_iou = -1.0f;
+    const detect::Box gt_shape{0, 0, gt.box.w, gt.box.h};
+    for (int64_t a = 0; a < cfg.num; ++a) {
+      const detect::Box prior{
+          0, 0, cfg.anchors[static_cast<size_t>(2 * a)] / static_cast<float>(W),
+          cfg.anchors[static_cast<size_t>(2 * a + 1)] / static_cast<float>(H)};
+      const float s = detect::iou(gt_shape, prior);
+      if (s > best_shape_iou) {
+        best_shape_iou = s;
+        best_a = a;
+      }
+    }
+    const float pw = cfg.anchors[static_cast<size_t>(2 * best_a)];
+    const float ph = cfg.anchors[static_cast<size_t>(2 * best_a + 1)];
+
+    // Coordinate targets in transform space.
+    const float tx_t = gt.box.x * static_cast<float>(W) - static_cast<float>(col);
+    const float ty_t = gt.box.y * static_cast<float>(H) - static_cast<float>(row);
+    const float tw_t = std::log(gt.box.w * static_cast<float>(W) / pw);
+    const float th_t = std::log(gt.box.h * static_cast<float>(H) / ph);
+
+    const float tx = raw[idx(best_a, 0, i)];
+    const float ty = raw[idx(best_a, 1, i)];
+    const float tw = raw[idx(best_a, 2, i)];
+    const float th = raw[idx(best_a, 3, i)];
+    const float sx = sigmoid(tx), sy = sigmoid(ty);
+
+    loss += cfg.coord_scale * ((sx - tx_t) * (sx - tx_t) +
+                               (sy - ty_t) * (sy - ty_t) +
+                               (tw - tw_t) * (tw - tw_t) +
+                               (th - th_t) * (th - th_t));
+    r.grad[idx(best_a, 0, i)] =
+        cfg.coord_scale * 2.0f * (sx - tx_t) * sx * (1.0f - sx);
+    r.grad[idx(best_a, 1, i)] =
+        cfg.coord_scale * 2.0f * (sy - ty_t) * sy * (1.0f - sy);
+    r.grad[idx(best_a, 2, i)] = cfg.coord_scale * 2.0f * (tw - tw_t);
+    r.grad[idx(best_a, 3, i)] = cfg.coord_scale * 2.0f * (th - th_t);
+
+    // Objectness: overwrite the no-object term for this slot.
+    const float to = raw[idx(best_a, cfg.coords, i)];
+    const float obj = sigmoid(to);
+    loss -= cfg.noobject_scale * obj * obj;  // undo pass 1
+    loss += cfg.object_scale * (obj - 1.0f) * (obj - 1.0f);
+    r.grad[idx(best_a, cfg.coords, i)] =
+        cfg.object_scale * 2.0f * (obj - 1.0f) * obj * (1.0f - obj);
+
+    // Class: softmax cross-entropy.
+    float max_z = raw[idx(best_a, cfg.coords + 1, i)];
+    for (int64_t c = 1; c < cfg.classes; ++c)
+      max_z = std::max(max_z, raw[idx(best_a, cfg.coords + 1 + c, i)]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cfg.classes; ++c)
+      denom += std::exp(raw[idx(best_a, cfg.coords + 1 + c, i)] - max_z);
+    for (int64_t c = 0; c < cfg.classes; ++c) {
+      const float p =
+          std::exp(raw[idx(best_a, cfg.coords + 1 + c, i)] - max_z) / denom;
+      const float y = c == gt.class_id ? 1.0f : 0.0f;
+      if (c == gt.class_id) loss -= cfg.class_scale * std::log(std::max(p, 1e-9f));
+      r.grad[idx(best_a, cfg.coords + 1 + c, i)] = cfg.class_scale * (p - y);
+    }
+
+    // Diagnostics: IoU of the current prediction against the truth.
+    const detect::Box pred{
+        (static_cast<float>(col) + sx) / static_cast<float>(W),
+        (static_cast<float>(row) + sy) / static_cast<float>(H),
+        pw * std::exp(tw) / static_cast<float>(W),
+        ph * std::exp(th) / static_cast<float>(H)};
+    r.avg_iou += detect::iou(pred, gt.box);
+    r.avg_obj += obj;
+    ++r.assigned;
+  }
+
+  if (r.assigned > 0) {
+    r.avg_iou /= static_cast<double>(r.assigned);
+    r.avg_obj /= static_cast<double>(r.assigned);
+  }
+  r.loss = loss;
+  return r;
+}
+
+ClassLossResult softmax_cross_entropy(const Tensor& logits, int label) {
+  const int64_t n = logits.numel();
+  TINCY_CHECK_MSG(label >= 0 && label < n, "label " << label);
+  ClassLossResult r;
+  r.grad = Tensor(logits.shape());
+
+  float max_z = logits[0];
+  int best = 0;
+  for (int64_t i = 1; i < n; ++i) {
+    if (logits[i] > max_z) {
+      max_z = logits[i];
+      best = static_cast<int>(i);
+    }
+  }
+  r.correct = best == label;
+
+  double denom = 0.0;
+  for (int64_t i = 0; i < n; ++i)
+    denom += std::exp(static_cast<double>(logits[i]) - max_z);
+  for (int64_t i = 0; i < n; ++i) {
+    const double p =
+        std::exp(static_cast<double>(logits[i]) - max_z) / denom;
+    r.grad[i] = static_cast<float>(p) - (i == label ? 1.0f : 0.0f);
+    if (i == label) r.loss = -std::log(std::max(p, 1e-12));
+  }
+  return r;
+}
+
+}  // namespace tincy::train

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file loss.hpp
+/// YOLOv2-style region detection loss over the raw (pre-squash) output
+/// feature map, with its exact gradient — the training counterpart of the
+/// region layer.
+
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "detect/box.hpp"
+
+namespace tincy::train {
+
+struct RegionLossConfig {
+  int64_t classes = 3;
+  int64_t coords = 4;
+  int64_t num = 3;             ///< anchors per cell
+  std::vector<float> anchors;  ///< 2·num priors in cell units
+  float object_scale = 5.0f;
+  float noobject_scale = 1.0f;
+  float coord_scale = 1.0f;
+  float class_scale = 1.0f;
+};
+
+struct RegionLossResult {
+  double loss = 0.0;
+  Tensor grad;        ///< d(loss)/d(raw feature map)
+  double avg_iou = 0.0;     ///< mean IoU of assigned predictions
+  double avg_obj = 0.0;     ///< mean objectness at assigned slots
+  int64_t assigned = 0;     ///< ground-truth objects assigned
+};
+
+/// Computes loss and gradient for one sample. `raw` is the (pre-region)
+/// conv output of shape (num·(coords+1+classes), H, W); ground truth boxes
+/// are normalized. Assignment: each object goes to the anchor of its cell
+/// whose prior shape best matches (standard YOLOv2 rule); objectness is
+/// driven to 1 there (weighted object_scale), to 0 elsewhere
+/// (noobject_scale); coordinates use MSE in transform space; classes use
+/// softmax cross-entropy.
+RegionLossResult region_loss(const Tensor& raw,
+                             const std::vector<detect::GroundTruth>& truth,
+                             const RegionLossConfig& cfg);
+
+/// Softmax cross-entropy over raw class logits (for the MLP-4 / CNV-6
+/// classification workloads). Returns the loss and d(loss)/d(logits).
+struct ClassLossResult {
+  double loss = 0.0;
+  Tensor grad;
+  bool correct = false;  ///< argmax(logits) == label
+};
+
+ClassLossResult softmax_cross_entropy(const Tensor& logits, int label);
+
+}  // namespace tincy::train

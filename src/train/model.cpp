@@ -1,0 +1,105 @@
+#include "train/model.hpp"
+
+#include "core/errors.hpp"
+#include "nn/conv_layer.hpp"
+
+namespace tincy::train {
+
+void Model::add(std::unique_ptr<TrainLayer> layer) {
+  TINCY_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Shape Model::output_shape() const {
+  TINCY_CHECK(!layers_.empty());
+  return layers_.back()->output_shape();
+}
+
+const Tensor& Model::forward(const Tensor& input, bool training) {
+  TINCY_CHECK(!layers_.empty());
+  activations_.clear();
+  activations_.push_back(input);
+  for (auto& layer : layers_)
+    activations_.push_back(layer->forward(activations_.back(), training));
+  return activations_.back();
+}
+
+void Model::backward(const Tensor& grad_out) {
+  TINCY_CHECK_MSG(activations_.size() == layers_.size() + 1,
+                  "backward without forward");
+  Tensor grad = grad_out;
+  for (int64_t i = num_layers() - 1; i >= 0; --i)
+    grad = layers_[static_cast<size_t>(i)]->backward(
+        activations_[static_cast<size_t>(i)], grad);
+}
+
+void Model::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<TrainLayer::Param> Model::params() {
+  std::vector<TrainLayer::Param> all;
+  for (auto& layer : layers_)
+    for (auto& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+int64_t Model::warm_start_from(const Model& source) {
+  // Pair conv layers by order of appearance.
+  std::vector<const TrainConvLayer*> src_convs;
+  for (const auto& layer : source.layers_)
+    if (const auto* conv = dynamic_cast<const TrainConvLayer*>(layer.get()))
+      src_convs.push_back(conv);
+
+  int64_t copied = 0;
+  size_t si = 0;
+  for (auto& layer : layers_) {
+    auto* dst = dynamic_cast<TrainConvLayer*>(layer.get());
+    if (!dst) continue;
+    if (si >= src_convs.size()) break;
+    const TrainConvLayer* src = src_convs[si++];
+    if (src->weights().shape() == dst->weights().shape()) {
+      dst->set_parameters(src->weights(), src->biases());
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+void Model::export_to(nn::Network& net) const {
+  // Walk both layer lists, pairing trainable convs with inference convs.
+  int64_t ni = 0;
+  for (const auto& layer : layers_) {
+    const auto* tconv = dynamic_cast<const TrainConvLayer*>(layer.get());
+    if (!tconv) continue;  // pools carry no parameters
+    nn::ConvLayer* target = nullptr;
+    while (ni < net.num_layers()) {
+      target = dynamic_cast<nn::ConvLayer*>(&net.layer(ni++));
+      if (target) break;
+    }
+    TINCY_CHECK_MSG(target != nullptr,
+                    "inference network has fewer conv layers than the model");
+    TINCY_CHECK_MSG(target->weights().shape() == tconv->weights().shape(),
+                    "conv shape mismatch: " +
+                        target->weights().shape().to_string() + " vs " +
+                        tconv->weights().shape().to_string());
+    target->weights() = tconv->weights();
+    target->biases() = tconv->biases();
+    if (tconv->has_channel_scale()) {
+      // The trained per-channel scale deploys as degenerate batch norm
+      // (mean 0, unit variance): scale·acc + bias — which the quantized
+      // inference layer folds into its thresholds.
+      TINCY_CHECK_MSG(target->config().batch_normalize,
+                      "channel-scaled conv must export into a BN conv");
+      target->bn_scales() = tconv->channel_scales();
+      target->bn_mean().fill(0.0f);
+      target->bn_var().fill(1.0f - nn::kBatchNormEps);
+    } else {
+      TINCY_CHECK_MSG(!target->config().batch_normalize,
+                      "export_to expects batch-norm-free inference layers");
+    }
+    target->invalidate_cached_quantization();
+  }
+}
+
+}  // namespace tincy::train

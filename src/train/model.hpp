@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file model.hpp
+/// A trainable stack of layers plus transfer of trained parameters into an
+/// inference nn::Network (the deploy step: float masters → binarized
+/// weights and thresholds on the fabric).
+
+#include <memory>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "train/layers.hpp"
+
+namespace tincy::train {
+
+class Model {
+ public:
+  explicit Model(Shape input_shape) : input_shape_(input_shape) {}
+
+  void add(std::unique_ptr<TrainLayer> layer);
+
+  Shape input_shape() const { return input_shape_; }
+  Shape output_shape() const;
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+  TrainLayer& layer(int64_t i) { return *layers_[static_cast<size_t>(i)]; }
+
+  /// Forward one sample; caches per-layer activations when training.
+  const Tensor& forward(const Tensor& input, bool training);
+
+  /// Backpropagates d(loss)/d(output); parameter gradients accumulate.
+  void backward(const Tensor& grad_out);
+
+  void zero_grad();
+
+  /// All trainable parameters (for the optimizer).
+  std::vector<TrainLayer::Param> params();
+
+  /// Warm start: copies conv weights/biases from `source` wherever the
+  /// i-th conv layers of both models have identical shapes (the paper's
+  /// methodology — quantized variants are *retrained from* the trained
+  /// float network, not from scratch). Returns the number of conv layers
+  /// copied; mismatched layers keep their fresh initialization.
+  int64_t warm_start_from(const Model& source);
+
+  /// Copies trained parameters into an inference network with identical
+  /// topology (conv layers must match filters/size/stride in order;
+  /// pooling layers are matched positionally; the region layer has no
+  /// parameters). Conv layers in `net` get bias := trained bias and
+  /// weights := float masters; quantized inference layers then derive
+  /// their binarized form and thresholds from these.
+  void export_to(nn::Network& net) const;
+
+ private:
+  Shape input_shape_;
+  std::vector<std::unique_ptr<TrainLayer>> layers_;
+  std::vector<Tensor> activations_;  // [0]=input copy, [i+1]=layer i output
+};
+
+}  // namespace tincy::train

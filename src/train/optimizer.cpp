@@ -1,0 +1,27 @@
+#include "train/optimizer.hpp"
+
+#include <algorithm>
+
+namespace tincy::train {
+
+void Sgd::step(const std::vector<TrainLayer::Param>& params) {
+  for (const auto& p : params) {
+    Tensor& w = *p.value;
+    Tensor& g = *p.grad;
+    Tensor& v = *p.momentum;
+    for (int64_t i = 0; i < w.numel(); ++i) {
+      float raw = g[i];
+      if (cfg_.grad_clip > 0.0f)
+        raw = std::clamp(raw, -cfg_.grad_clip, cfg_.grad_clip);
+      // No decay on binary master weights: shrinking them toward zero only
+      // causes gratuitous sign flips (Courbariaux et al.).
+      const float decay = p.clamp_unit ? 0.0f : cfg_.weight_decay;
+      const float grad = raw + decay * w[i];
+      v[i] = cfg_.momentum * v[i] - cfg_.learning_rate * grad;
+      w[i] += v[i];
+      if (p.clamp_unit) w[i] = std::clamp(w[i], -1.0f, 1.0f);
+    }
+  }
+}
+
+}  // namespace tincy::train

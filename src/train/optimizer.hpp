@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// SGD with momentum and weight decay, plus the [−1, 1] master-weight
+/// clamp that binary-weight training requires (Courbariaux et al.).
+
+#include <vector>
+
+#include "train/layers.hpp"
+
+namespace tincy::train {
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Per-element gradient clamp (0 disables). Detection losses spike when
+  /// an object lands on a fresh cell; clipping keeps STE training stable.
+  float grad_clip = 1.0f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg) : cfg_(cfg) {}
+
+  /// One update over the given parameters; gradients are consumed as-is
+  /// (callers average over the batch beforehand if desired).
+  void step(const std::vector<TrainLayer::Param>& params);
+
+  void set_learning_rate(float lr) { cfg_.learning_rate = lr; }
+  const SgdConfig& config() const { return cfg_; }
+
+ private:
+  SgdConfig cfg_;
+};
+
+}  // namespace tincy::train

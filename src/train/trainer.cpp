@@ -1,0 +1,178 @@
+#include "train/trainer.hpp"
+
+#include <cstdio>
+
+#include "detect/decode.hpp"
+#include "detect/map.hpp"
+#include "detect/nms.hpp"
+#include "nn/region_layer.hpp"
+
+namespace tincy::train {
+
+std::string detector_variant_name(DetectorVariant v) {
+  switch (v) {
+    case DetectorVariant::kTinyS:
+      return "Tiny YOLO (scaled)";
+    case DetectorVariant::kA:
+      return "Tiny YOLO + (a)";
+    case DetectorVariant::kABC:
+      return "Tiny YOLO + (a,b,c)";
+    case DetectorVariant::kTincyS:
+      return "Tincy YOLO (scaled)";
+  }
+  return "?";
+}
+
+bool detector_variant_quantized(DetectorVariant v) {
+  return v != DetectorVariant::kTinyS;
+}
+
+Model make_detector(DetectorVariant v, DetectorSpec& spec, Rng& rng) {
+  const bool mod_a = v != DetectorVariant::kTinyS;
+  const bool mod_bc = v == DetectorVariant::kABC || v == DetectorVariant::kTincyS;
+  const bool mod_d = v == DetectorVariant::kTincyS;
+  const bool quant = detector_variant_quantized(v);
+  const nn::Activation act =
+      mod_a ? nn::Activation::kRelu : nn::Activation::kLeaky;
+
+  spec.region.classes = spec.num_classes;
+  spec.region.coords = 4;
+  spec.region.num = 3;
+  spec.region.anchors = {1.3f, 1.3f, 2.2f, 2.2f, 3.2f, 3.2f};
+
+  const int64_t S = spec.input_size;
+  Model model(Shape{3, S, S});
+  Shape shape = model.input_shape();
+  const auto add_conv = [&](TrainConvConfig cfg) {
+    auto layer = std::make_unique<TrainConvLayer>(cfg, shape, rng);
+    shape = layer->output_shape();
+    model.add(std::move(layer));
+  };
+  const auto add_pool = [&] {
+    auto layer = std::make_unique<TrainMaxPoolLayer>(2, 2, shape);
+    shape = layer->output_shape();
+    model.add(std::move(layer));
+  };
+  const auto hidden = [&](int64_t filters) {
+    TrainConvConfig c;
+    c.filters = filters;
+    c.activation = act;
+    if (quant) {
+      c.binary_weights = true;
+      c.act_bits = 3;
+      c.out_scale = 0.2f;
+    }
+    return c;
+  };
+
+  // Input conv: quantization-sensitive, always float.
+  {
+    TrainConvConfig c;
+    c.filters = 8;
+    c.stride = mod_d ? 2 : 1;
+    c.activation = act;
+    add_conv(c);
+    if (!mod_d) add_pool();
+  }
+  // Hidden ladder, mirroring (b) and (c).
+  add_conv(hidden(mod_bc ? 32 : 16));
+  add_pool();
+  add_conv(hidden(32));
+  add_pool();
+  add_conv(hidden(mod_bc ? 32 : 64));
+  add_conv(hidden(mod_bc ? 32 : 64));
+  // Output conv: 1×1, linear, float.
+  {
+    TrainConvConfig c;
+    c.filters = spec.region.num * (spec.region.coords + 1 + spec.num_classes);
+    c.size = 1;
+    c.activation = nn::Activation::kLinear;
+    add_conv(c);
+  }
+  return model;
+}
+
+TrainConfig default_train_config(DetectorVariant v, int64_t steps) {
+  TrainConfig cfg;
+  cfg.steps = steps;
+  cfg.batch = 2;
+  cfg.learning_rate = detector_variant_quantized(v) ? 0.001f : 0.01f;
+  return cfg;
+}
+
+TrainResult train_detector(Model& model, const DetectorSpec& spec,
+                           const data::SynthVoc& dataset,
+                           const TrainConfig& cfg) {
+  Sgd optimizer({cfg.learning_rate, cfg.momentum, cfg.weight_decay});
+  TrainResult result;
+  double tail_loss = 0.0;
+  int64_t tail_count = 0;
+  int64_t sample_index = 0;
+
+  for (int64_t step = 0; step < cfg.steps; ++step) {
+    // Linear warmup then constant LR with a single 10x decay at 80 %.
+    float lr = cfg.learning_rate;
+    if (step < cfg.warmup_steps)
+      lr *= static_cast<float>(step + 1) / static_cast<float>(cfg.warmup_steps);
+    else if (step >= cfg.steps * 8 / 10)
+      lr *= 0.1f;
+    optimizer.set_learning_rate(lr);
+
+    model.zero_grad();
+    double step_loss = 0.0;
+    for (int64_t b = 0; b < cfg.batch; ++b) {
+      const data::SynthSample sample = dataset.sample(sample_index++);
+      const Tensor& out = model.forward(sample.image, /*training=*/true);
+      RegionLossResult lr_res = region_loss(out, sample.objects, spec.region);
+      step_loss += lr_res.loss;
+      // Mean over the batch.
+      for (int64_t i = 0; i < lr_res.grad.numel(); ++i)
+        lr_res.grad[i] /= static_cast<float>(cfg.batch);
+      model.backward(lr_res.grad);
+    }
+    optimizer.step(model.params());
+    step_loss /= static_cast<double>(cfg.batch);
+
+    if (step >= cfg.steps - 50) {
+      tail_loss += step_loss;
+      ++tail_count;
+    }
+    if (cfg.verbose && (step % 100 == 0 || step == cfg.steps - 1))
+      std::printf("  step %4lld  loss %.4f  lr %.4f\n",
+                  static_cast<long long>(step), step_loss,
+                  static_cast<double>(lr));
+  }
+  result.final_loss = tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
+  result.steps = cfg.steps;
+  return result;
+}
+
+double evaluate_map(Model& model, const DetectorSpec& spec,
+                    const data::SynthVoc& dataset, int64_t num_images,
+                    float detect_threshold, float nms_iou) {
+  // Region squashing reuses the inference layer for exact parity.
+  nn::RegionConfig rc;
+  rc.classes = spec.region.classes;
+  rc.coords = spec.region.coords;
+  rc.num = spec.region.num;
+  rc.anchors = spec.region.anchors;
+  nn::RegionLayer region(rc, model.output_shape());
+
+  std::vector<detect::ImageEval> evals;
+  evals.reserve(static_cast<size_t>(num_images));
+  // Evaluation draws from a disjoint index range (offset far past any
+  // training stream position).
+  const int64_t offset = 1'000'000;
+  for (int64_t i = 0; i < num_images; ++i) {
+    const data::SynthSample sample = dataset.sample(offset + i);
+    const Tensor& raw = model.forward(sample.image, /*training=*/false);
+    Tensor squashed(raw.shape());
+    region.forward(raw, squashed);
+    auto dets = detect::decode_region(squashed, rc, detect_threshold);
+    dets = detect::nms(std::move(dets), nms_iou);
+    evals.push_back({std::move(dets), sample.objects});
+  }
+  return detect::mean_average_precision(evals, spec.num_classes);
+}
+
+}  // namespace tincy::train

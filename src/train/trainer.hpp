@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Scaled-down Tiny/Tincy YOLO detector variants, the training loop, and
+/// the mAP evaluation used to reproduce the *shape* of Table IV on the
+/// SynthVOC substitution dataset.
+///
+/// The scaled variants preserve the paper's §III-E modifications exactly:
+/// (a) leaky ReLU → ReLU; (b) the second conv's output channels doubled;
+/// (c) the last two hidden convs' channels halved; (d) first maxpool
+/// dropped + first conv stride 2. Hidden layers are trained W1A3 (binary
+/// weights via STE, 3-bit activations) for the quantized rows of the
+/// table; the first and last layers stay float (quantization-sensitive).
+
+#include <string>
+
+#include "data/synthvoc.hpp"
+#include "train/loss.hpp"
+#include "train/model.hpp"
+#include "train/optimizer.hpp"
+
+namespace tincy::train {
+
+/// The Table IV rows, scaled down.
+enum class DetectorVariant {
+  kTinyS,    ///< "Tiny YOLO"        — float, leaky ReLU
+  kA,        ///< "Tiny YOLO + (a)"  — ReLU, W1A3 hidden
+  kABC,      ///< "Tiny YOLO + (a,b,c)" — W1A3 hidden
+  kTincyS,   ///< "Tincy YOLO"       — + (d), W1A3 hidden
+};
+
+std::string detector_variant_name(DetectorVariant v);
+
+/// True for the variants whose hidden layers are quantized (all but kTinyS).
+bool detector_variant_quantized(DetectorVariant v);
+
+struct DetectorSpec {
+  int64_t input_size = 48;  ///< square input; /8 = output grid
+  int num_classes = 3;
+  RegionLossConfig region;  ///< anchors filled by make_detector
+};
+
+/// Builds the scaled detector for a variant; fills `spec.region.anchors`.
+Model make_detector(DetectorVariant v, DetectorSpec& spec, Rng& rng);
+
+struct TrainConfig {
+  int64_t steps = 600;        ///< optimizer steps
+  int64_t batch = 2;          ///< samples accumulated per step
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  int64_t warmup_steps = 50;  ///< linear LR ramp
+  bool verbose = false;
+};
+
+struct TrainResult {
+  double final_loss = 0.0;  ///< mean loss over the last 50 steps
+  int64_t steps = 0;
+};
+
+/// Hyperparameters that work for the variant class: float detectors train
+/// at lr 0.01; W1A3 detectors need lr 0.001 (binary masters flip signs at
+/// higher rates) and no weight decay on the binary masters (built into
+/// Sgd). Steps default to 800; scale as budget allows.
+TrainConfig default_train_config(DetectorVariant v, int64_t steps = 800);
+
+/// Trains `model` on the dataset with the region loss.
+TrainResult train_detector(Model& model, const DetectorSpec& spec,
+                           const data::SynthVoc& dataset,
+                           const TrainConfig& cfg);
+
+/// Evaluates VOC-2007 mAP of the model over `num_images` dataset samples.
+double evaluate_map(Model& model, const DetectorSpec& spec,
+                    const data::SynthVoc& dataset, int64_t num_images,
+                    float detect_threshold = 0.1f, float nms_iou = 0.45f);
+
+}  // namespace tincy::train

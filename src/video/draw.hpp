@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file draw.hpp
+/// Box drawing — the annotation overlay stage (Fig. 5 stage N+3, "Frame
+/// Drawing"; Table III "Box Drawing").
+
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "detect/box.hpp"
+
+namespace tincy::video {
+
+/// Draws a rectangle outline for each detection into `image` (3, H, W),
+/// color-coded by class, `thickness` pixels wide. Boxes are normalized;
+/// out-of-image portions are clipped.
+void draw_detections(Tensor& image,
+                     const std::vector<detect::Detection>& detections,
+                     int thickness = 2);
+
+}  // namespace tincy::video

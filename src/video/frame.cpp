@@ -1,0 +1,2 @@
+// frame.hpp is data-only; this translation unit anchors the target.
+#include "video/frame.hpp"

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file frame.hpp
+/// A video frame moving through the processing pipeline, carrying its
+/// capture sequence number (the pipeline must keep frames in order) and
+/// the annotations attached along the way.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "detect/box.hpp"
+
+namespace tincy::video {
+
+struct Frame {
+  int64_t sequence = -1;           ///< capture order, 0-based
+  Tensor image;                    ///< (3, H, W) RGB in [0, 1]
+  Tensor boxed;                    ///< letterboxed network input (stage #1)
+  Tensor features;                 ///< network output feature map
+  std::vector<detect::Detection> detections;  ///< after object boxing
+  std::vector<detect::GroundTruth> truth;     ///< synthetic camera's GT
+};
+
+}  // namespace tincy::video

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file ppm.hpp
+/// Minimal binary PPM (P6) image output so examples can save annotated
+/// frames for inspection without any image-library dependency.
+
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace tincy::video {
+
+/// Writes a (3, H, W) float image in [0, 1] as binary PPM.
+void write_ppm(const std::string& path, const Tensor& image);
+
+/// Reads a binary PPM back into a (3, H, W) float tensor (for tests).
+Tensor read_ppm(const std::string& path);
+
+}  // namespace tincy::video

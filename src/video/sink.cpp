@@ -1,0 +1,40 @@
+#include "video/sink.hpp"
+
+namespace tincy::video {
+
+void OrderCheckingSink::push(const Frame& frame) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mutex_);
+  if (sequences_.empty()) first_ = now;
+  last_ = now;
+  sequences_.push_back(frame.sequence);
+}
+
+int64_t OrderCheckingSink::frames_received() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int64_t>(sequences_.size());
+}
+
+bool OrderCheckingSink::in_order() const {
+  std::lock_guard lock(mutex_);
+  for (size_t i = 1; i < sequences_.size(); ++i)
+    if (sequences_[i] <= sequences_[i - 1]) return false;
+  return true;
+}
+
+double OrderCheckingSink::fps() const {
+  std::lock_guard lock(mutex_);
+  if (sequences_.size() < 2) return 0.0;
+  const double seconds =
+      std::chrono::duration<double>(last_ - first_).count();
+  return seconds > 0.0
+             ? static_cast<double>(sequences_.size() - 1) / seconds
+             : 0.0;
+}
+
+std::vector<int64_t> OrderCheckingSink::sequences() const {
+  std::lock_guard lock(mutex_);
+  return sequences_;
+}
+
+}  // namespace tincy::video

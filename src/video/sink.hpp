@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file sink.hpp
+/// Video sinks. The paper outputs to X11; here the default sink verifies
+/// the pipeline's ordering contract ("this scheme of job scheduling
+/// prevents that one frame overtakes another") and accumulates throughput
+/// statistics. "The video sink is always free": push() never blocks.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace tincy::video {
+
+class OrderCheckingSink {
+ public:
+  /// Consumes a finished frame; thread-safe. Records arrival order.
+  void push(const Frame& frame);
+
+  int64_t frames_received() const;
+
+  /// True iff every frame arrived in strictly increasing sequence order.
+  bool in_order() const;
+
+  /// Wall-clock frames per second between the first and last push
+  /// (0 before the second frame).
+  double fps() const;
+
+  /// Received sequence numbers in arrival order.
+  std::vector<int64_t> sequences() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<int64_t> sequences_;
+  std::chrono::steady_clock::time_point first_, last_;
+};
+
+}  // namespace tincy::video

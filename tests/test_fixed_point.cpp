@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/fixed_point.hpp"
+#include "core/rng.hpp"
+
+namespace tincy {
+namespace {
+
+TEST(RoundingRightShift, MatchesNeonVrshrSemantics) {
+  // VRSHR adds the rounding constant 1 << (n-1) before the shift.
+  EXPECT_EQ(rounding_right_shift<int32_t>(15, 4), 1);   // 15+8 = 23 >> 4
+  EXPECT_EQ(rounding_right_shift<int32_t>(16, 4), 1);
+  EXPECT_EQ(rounding_right_shift<int32_t>(24, 4), 2);   // ties round up
+  EXPECT_EQ(rounding_right_shift<int32_t>(-24, 4), -1); // -24+8 = -16 >> 4
+  EXPECT_EQ(rounding_right_shift<int32_t>(-25, 4), -2);
+  EXPECT_EQ(rounding_right_shift<int32_t>(7, 0), 7);
+}
+
+TEST(RoundingRightShift, PropertyAgainstFloatReference) {
+  Rng rng(3);
+  for (int rep = 0; rep < 5000; ++rep) {
+    const auto x = static_cast<int32_t>(rng.uniform_int(-1 << 20, 1 << 20));
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    // round-half-up toward +inf on the scaled value.
+    const double expected = std::floor(static_cast<double>(x) / (1 << n) + 0.5);
+    EXPECT_EQ(rounding_right_shift(x, n), static_cast<int32_t>(expected))
+        << "x=" << x << " n=" << n;
+  }
+}
+
+TEST(RoundingRightShift, Int16NoIntermediateOverflow) {
+  // The acc16 kernel path: x near int16 limits must not wrap.
+  EXPECT_EQ(rounding_right_shift<int16_t>(32767, 4), 2048);
+  EXPECT_EQ(rounding_right_shift<int16_t>(-32768, 4), -2048);
+}
+
+TEST(SaturateCast, ClampsToTargetRange) {
+  EXPECT_EQ(saturate_cast<int8_t>(1000), 127);
+  EXPECT_EQ(saturate_cast<int8_t>(-1000), -128);
+  EXPECT_EQ(saturate_cast<int8_t>(5), 5);
+  EXPECT_EQ(saturate_cast<uint8_t>(-3), 0);
+  EXPECT_EQ(saturate_cast<uint8_t>(300), 255);
+  EXPECT_EQ(saturate_cast<int16_t>(40000), 32767);
+  EXPECT_EQ(saturate_cast<int16_t>(-40000), -32768);
+}
+
+TEST(SaturatingAdd, Int16Semantics) {
+  EXPECT_EQ(saturating_add<int16_t>(32000, 1000), 32767);
+  EXPECT_EQ(saturating_add<int16_t>(-32000, -1000), -32768);
+  EXPECT_EQ(saturating_add<int16_t>(100, 200), 300);
+}
+
+TEST(SaturatingRoundingDoublingHighMul, KnownValues) {
+  // (a*b*2 + nudge) >> 31.
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(1 << 30, 1 << 30),
+            1 << 29);
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(
+                std::numeric_limits<int32_t>::min(),
+                std::numeric_limits<int32_t>::min()),
+            std::numeric_limits<int32_t>::max());  // the documented overflow
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(0, 12345), 0);
+}
+
+TEST(MultiplyByQuantizedMultiplier, ApproximatesRealMultiplier) {
+  Rng rng(4);
+  for (int rep = 0; rep < 2000; ++rep) {
+    // multiplier in [2^30, 2^31), shift in [0, 8].
+    const auto mult = static_cast<int32_t>(
+        rng.uniform_int(1ll << 30, (1ll << 31) - 1));
+    const int shift = static_cast<int>(rng.uniform_int(0, 8));
+    const auto x = static_cast<int32_t>(rng.uniform_int(-1 << 24, 1 << 24));
+    const double real =
+        static_cast<double>(x) * static_cast<double>(mult) /
+        std::pow(2.0, 31 + shift);
+    const int32_t got = multiply_by_quantized_multiplier(x, mult, shift);
+    EXPECT_NEAR(static_cast<double>(got), real, 1.5)
+        << "x=" << x << " mult=" << mult << " shift=" << shift;
+  }
+}
+
+}  // namespace
+}  // namespace tincy

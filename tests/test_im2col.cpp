@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "gemm/im2col.hpp"
+
+namespace tincy::gemm {
+namespace {
+
+Tensor random_image(Rng& rng, const ConvGeometry& g) {
+  Tensor img(Shape{g.in_channels, g.in_height, g.in_width});
+  for (int64_t i = 0; i < img.numel(); ++i) img[i] = rng.uniform(-1.0f, 1.0f);
+  return img;
+}
+
+/// Direct (definition-level) lookup of im2col element (row, col).
+float naive_im2col_at(const Tensor& img, const ConvGeometry& g, int64_t row,
+                      int64_t col) {
+  const int64_t kk = g.kernel * g.kernel;
+  const int64_t c = row / kk;
+  const int64_t kh = (row % kk) / g.kernel;
+  const int64_t kw = row % g.kernel;
+  const int64_t oh = col / g.out_width(), ow = col % g.out_width();
+  const int64_t ih = oh * g.stride - g.pad + kh;
+  const int64_t iw = ow * g.stride - g.pad + kw;
+  if (ih < 0 || ih >= g.in_height || iw < 0 || iw >= g.in_width) return 0.0f;
+  return img.at(c, ih, iw);
+}
+
+using Geometry = std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t>;
+// (channels, size, kernel, stride, pad)
+
+class Im2ColProperty : public ::testing::TestWithParam<Geometry> {
+ protected:
+  ConvGeometry geometry() const {
+    const auto [c, s, k, stride, pad] = GetParam();
+    return {c, s, s, k, stride, pad};
+  }
+};
+
+TEST_P(Im2ColProperty, MatchesDefinition) {
+  const ConvGeometry g = geometry();
+  Rng rng(17);
+  const Tensor img = random_image(rng, g);
+  const Tensor cols = im2col(img, g);
+  ASSERT_EQ(cols.shape(), Shape({g.patch_size(), g.num_patches()}));
+  for (int64_t r = 0; r < g.patch_size(); ++r)
+    for (int64_t c = 0; c < g.num_patches(); ++c)
+      EXPECT_EQ(cols.at2(r, c), naive_im2col_at(img, g, r, c))
+          << "r=" << r << " c=" << c;
+}
+
+TEST_P(Im2ColProperty, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+  // of the transpose operator used by the conv backward pass.
+  const ConvGeometry g = geometry();
+  Rng rng(23);
+  const Tensor x = random_image(rng, g);
+  Tensor y(Shape{g.patch_size(), g.num_patches()});
+  for (int64_t i = 0; i < y.numel(); ++i) y[i] = rng.uniform(-1.0f, 1.0f);
+
+  const Tensor ax = im2col(x, g);
+  Tensor aty(x.shape());
+  col2im(y.data(), g, aty.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < ax.numel(); ++i)
+    lhs += static_cast<double>(ax[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColProperty,
+    ::testing::Values(Geometry{1, 5, 1, 1, 0},   // 1x1 kernel
+                      Geometry{3, 8, 3, 1, 1},   // same conv
+                      Geometry{3, 9, 3, 2, 1},   // strided (Tincy layer 1)
+                      Geometry{2, 7, 3, 1, 0},   // valid conv
+                      Geometry{4, 6, 2, 2, 0},   // even kernel
+                      Geometry{1, 4, 4, 1, 2},   // kernel == size w/ pad
+                      Geometry{5, 10, 5, 3, 2}));
+
+TEST(Im2Col, U8PaddingUsesZeroPoint) {
+  const ConvGeometry g{1, 3, 3, 3, 1, 1};
+  TensorU8 img(Shape{1, 3, 3});
+  for (int64_t i = 0; i < 9; ++i) img[i] = static_cast<uint8_t>(i + 1);
+  const TensorU8 cols = im2col(img, g, /*pad_value=*/77);
+  // Corner patch (0,0): taps above/left of the image must read 77.
+  EXPECT_EQ(cols.at2(0, 0), 77);  // kh=0, kw=0 → (-1,-1)
+  EXPECT_EQ(cols.at2(4, 0), 1);   // center tap → pixel (0,0)
+}
+
+TEST(Im2Col, InflationFactor) {
+  // K=3, stride 1, same conv: the column matrix is ~K² times the image.
+  const ConvGeometry g{1, 32, 32, 3, 1, 1};
+  EXPECT_EQ(g.patch_size() * g.num_patches(), 9 * 32 * 32);
+}
+
+TEST(Im2Col, FullyConnectedDegenerateCase) {
+  // "A convolutional kernel of the same size of the input feature map
+  // degenerates into a single application ... with no input inflation".
+  const ConvGeometry g{4, 7, 7, 7, 1, 0};
+  EXPECT_EQ(g.num_patches(), 1);
+  EXPECT_EQ(g.patch_size(), 4 * 49);
+}
+
+TEST(Im2Col, OutputGeometry) {
+  const ConvGeometry g{3, 416, 416, 3, 2, 1};
+  EXPECT_EQ(g.out_height(), 208);
+  EXPECT_EQ(g.out_width(), 208);
+}
+
+}  // namespace
+}  // namespace tincy::gemm

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/rng.hpp"
+#include "nn/builder.hpp"
+#include "nn/ops.hpp"
+#include "nn/zoo.hpp"
+#include "offload/cpu_backend.hpp"
+#include "offload/fabric_backend.hpp"
+#include "offload/import.hpp"
+#include "offload/registration.hpp"
+
+namespace tincy::offload {
+namespace {
+
+const char* kSubnetCfg =
+    "[net]\nwidth=12\nheight=12\nchannels=4\n"
+    "[convolutional]\nbatch_normalize=1\nfilters=8\nsize=3\nstride=1\n"
+    "pad=1\nactivation=relu\nbinary=1\nabits=3\nkernel=quant_reference\n"
+    "in_scale=0.25\nout_scale=0.5\n"
+    "[maxpool]\nsize=2\nstride=2\n"
+    "[convolutional]\nbatch_normalize=1\nfilters=16\nsize=3\nstride=1\n"
+    "pad=1\nactivation=relu\nbinary=1\nabits=3\nkernel=quant_reference\n"
+    "in_scale=0.5\nout_scale=0.5\n";
+
+/// Subnetwork with deterministic random weights.
+std::unique_ptr<nn::Network> make_subnet() {
+  auto net = nn::build_network_from_string(kSubnetCfg);
+  Rng rng(301);
+  nn::zoo::randomize(*net, rng);
+  return net;
+}
+
+class OffloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_standard_backends();
+    dir_ = (std::filesystem::temp_directory_path() / "tincy_offload_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    const auto subnet = make_subnet();
+    export_binparams(*subnet, dir_);
+    register_inline_network("test-subnet", kSubnetCfg);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(OffloadTest, RegistryKnowsStandardBackends) {
+  auto& reg = nn::OffloadRegistry::instance();
+  EXPECT_TRUE(reg.contains("fabric.so"));
+  EXPECT_TRUE(reg.contains("cpu_qnn.so"));
+  EXPECT_FALSE(reg.contains("missing.so"));
+  EXPECT_THROW(reg.open("missing.so"), Error);
+}
+
+TEST_F(OffloadTest, NetworkWithOffloadSectionRunsOnFabric) {
+  // The Fig. 4 mechanism end to end: an enclosing network whose hidden
+  // part is a single [offload] section backed by fabric.so.
+  const std::string cfg =
+      "[net]\nwidth=12\nheight=12\nchannels=4\n"
+      "[offload]\n"
+      "library=fabric.so\n"
+      "network=inline:test-subnet\n"
+      "weights=" + dir_ + "\n"
+      "height=6\nwidth=6\nchannel=16\n";
+  const auto net = nn::build_network_from_string(cfg);
+  ASSERT_EQ(net->num_layers(), 1);
+  EXPECT_EQ(net->output_shape(), Shape({16, 6, 6}));
+
+  // load_weights hook pulls the binparams (Fig. 3 life cycle).
+  dynamic_cast<nn::OffloadLayer&>(net->layer(0)).backend().load_weights();
+
+  Rng rng(303);
+  Tensor in(Shape{4, 12, 12});
+  for (int64_t i = 0; i < in.numel(); ++i)
+    in[i] = 0.25f * static_cast<float>(rng.uniform_int(0, 7));
+  const Tensor& out = net->forward(in);
+
+  // Must equal the plain CPU execution of the subnetwork.
+  const auto subnet = make_subnet();
+  const Tensor& expected = subnet->forward(in);
+  for (int64_t i = 0; i < out.numel(); ++i)
+    EXPECT_FLOAT_EQ(out[i], expected[i]) << i;
+}
+
+TEST_F(OffloadTest, FabricBackendValidatesDeclaredGeometry) {
+  const std::string cfg =
+      "[net]\nwidth=12\nheight=12\nchannels=4\n"
+      "[offload]\nlibrary=fabric.so\nnetwork=inline:test-subnet\n"
+      "weights=" + dir_ + "\n"
+      "height=9\nwidth=9\nchannel=16\n";  // wrong geometry
+  const auto net = nn::build_network_from_string(cfg);
+  auto& layer = dynamic_cast<nn::OffloadLayer&>(net->layer(0));
+  EXPECT_THROW(layer.backend().load_weights(), Error);
+}
+
+TEST_F(OffloadTest, CpuBackendMatchesDirectExecution) {
+  const std::string cfg =
+      "[net]\nwidth=12\nheight=12\nchannels=4\n"
+      "[offload]\nlibrary=cpu_qnn.so\nnetwork=inline:test-subnet\n"
+      "weights=\nheight=6\nwidth=6\nchannel=16\n";
+  const auto net = nn::build_network_from_string(cfg);
+  auto& layer = dynamic_cast<nn::OffloadLayer&>(net->layer(0));
+  auto& backend = dynamic_cast<CpuBackend&>(layer.backend());
+  // Give the CPU backend the same deterministic weights.
+  Rng rng(301);
+  nn::zoo::randomize(backend.subnet(), rng);
+
+  Rng input_rng(303);
+  Tensor in(Shape{4, 12, 12});
+  for (int64_t i = 0; i < in.numel(); ++i)
+    in[i] = 0.25f * static_cast<float>(input_rng.uniform_int(0, 7));
+  const Tensor& out = net->forward(in);
+  const auto subnet = make_subnet();
+  const Tensor& expected = subnet->forward(in);
+  for (int64_t i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], expected[i]);
+}
+
+TEST_F(OffloadTest, OpsAccountingFlowsThroughOffload) {
+  const std::string cfg =
+      "[net]\nwidth=12\nheight=12\nchannels=4\n"
+      "[offload]\nlibrary=fabric.so\nnetwork=inline:test-subnet\n"
+      "weights=" + dir_ + "\nheight=6\nwidth=6\nchannel=16\n";
+  const auto net = nn::build_network_from_string(cfg);
+  auto& layer = dynamic_cast<nn::OffloadLayer&>(net->layer(0));
+  layer.backend().load_weights();
+  const auto rows = nn::ops_rows(*net);
+  ASSERT_EQ(rows.size(), 1u);
+  // conv1: 2·(4·9)·8·144 + conv2: 2·(8·9)·16·36 = 82,944 + 82,944.
+  EXPECT_EQ(rows[0].ops, 165888);
+  EXPECT_EQ(rows[0].precision.name(), "W1A3");
+  EXPECT_TRUE(rows[0].dot_product);
+}
+
+TEST_F(OffloadTest, LifecycleHooksInvoked) {
+  // A recording backend verifies the Fig. 3 hook order:
+  // init → load_weights → forward → destroy.
+  static std::vector<std::string> calls;
+  calls.clear();
+  class Recorder final : public nn::OffloadBackend {
+   public:
+    void init(const nn::OffloadConfig& cfg, Shape) override {
+      calls.push_back("init");
+      shape_ = cfg.output_shape;
+    }
+    void load_weights() override { calls.push_back("load_weights"); }
+    void forward(const Tensor&, Tensor& out) override {
+      calls.push_back("forward");
+      out.fill(1.0f);
+    }
+    void destroy() override { calls.push_back("destroy"); }
+
+   private:
+    Shape shape_;
+  };
+  nn::OffloadRegistry::instance().register_library(
+      "recorder.so", [] { return std::make_unique<Recorder>(); });
+
+  {
+    const auto net = nn::build_network_from_string(
+        "[net]\nwidth=4\nheight=4\nchannels=1\n"
+        "[offload]\nlibrary=recorder.so\nnetwork=x\nweights=y\n"
+        "height=4\nwidth=4\nchannel=1\n");
+    auto& layer = dynamic_cast<nn::OffloadLayer&>(net->layer(0));
+    layer.backend().load_weights();
+    Tensor in(Shape{1, 4, 4});
+    net->forward(in);
+  }  // destruction triggers destroy()
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[0], "init");
+  EXPECT_EQ(calls[1], "load_weights");
+  EXPECT_EQ(calls[2], "forward");
+  EXPECT_EQ(calls[3], "destroy");
+}
+
+TEST_F(OffloadTest, InlineNetworkRegistry) {
+  register_inline_network("x", "[net]\nwidth=1\n");
+  EXPECT_EQ(inline_network("x"), "[net]\nwidth=1\n");
+  EXPECT_THROW(inline_network("never-registered"), Error);
+}
+
+}  // namespace
+}  // namespace tincy::offload

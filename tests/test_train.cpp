@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/synthvoc.hpp"
+#include "nn/builder.hpp"
+#include "nn/conv_layer.hpp"
+#include "train/loss.hpp"
+#include "train/model.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace tincy::train {
+namespace {
+
+Tensor random_tensor(Rng& rng, Shape shape, float lo = -1.0f, float hi = 1.0f) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+TEST(TrainConv, ForwardMatchesInferenceConv) {
+  Rng rng(1);
+  TrainConvConfig cfg;
+  cfg.filters = 4;
+  cfg.activation = nn::Activation::kLeaky;
+  TrainConvLayer layer(cfg, Shape{3, 8, 8}, rng);
+
+  nn::ConvConfig icfg;
+  icfg.filters = 4;
+  icfg.activation = nn::Activation::kLeaky;
+  icfg.kernel = nn::ConvKernel::kReference;
+  nn::ConvLayer ref(icfg, Shape{3, 8, 8});
+  ref.weights() = layer.weights();
+  ref.biases() = layer.biases();
+
+  Rng in_rng(2);
+  const Tensor in = random_tensor(in_rng, Shape{3, 8, 8});
+  const Tensor a = layer.forward(in, /*training=*/false);
+  Tensor b(ref.output_shape());
+  ref.forward(in, b);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4f);
+}
+
+/// Numeric gradient check of the conv layer through a scalar loss
+/// L = Σ out ⊙ R with random R.
+TEST(TrainConv, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  TrainConvConfig cfg;
+  cfg.filters = 2;
+  cfg.activation = nn::Activation::kLeaky;  // smooth except at 0
+  TrainConvLayer layer(cfg, Shape{2, 5, 5}, rng);
+  Rng in_rng(4);
+  Tensor in = random_tensor(in_rng, Shape{2, 5, 5});
+  const Tensor r = random_tensor(in_rng, Shape{2, 5, 5});  // dL/dout
+
+  layer.zero_grad();
+  layer.forward(in, /*training=*/true);
+  const Tensor grad_in = layer.backward(in, r);
+
+  const auto loss = [&](const Tensor& x) {
+    const Tensor out = layer.forward(x, /*training=*/false);
+    double l = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i)
+      l += static_cast<double>(out[i]) * r[i];
+    return l;
+  };
+  const float h = 1e-3f;
+  Rng pick(5);
+  for (int rep = 0; rep < 30; ++rep) {
+    const int64_t i = pick.uniform_int(0, in.numel() - 1);
+    Tensor plus = in, minus = in;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (loss(plus) - loss(minus)) / (2.0 * h);
+    EXPECT_NEAR(grad_in[i], fd, 5e-2 * (std::fabs(fd) + 1.0)) << "input " << i;
+  }
+}
+
+TEST(TrainConv, WeightGradientMatchesFiniteDifference) {
+  Rng rng(6);
+  TrainConvConfig cfg;
+  cfg.filters = 2;
+  cfg.activation = nn::Activation::kLinear;
+  TrainConvLayer layer(cfg, Shape{1, 4, 4}, rng);
+  Rng in_rng(7);
+  const Tensor in = random_tensor(in_rng, Shape{1, 4, 4});
+  const Tensor r = random_tensor(in_rng, Shape{2, 4, 4});
+
+  layer.zero_grad();
+  layer.forward(in, true);
+  layer.backward(in, r);
+  auto params = layer.params();
+  Tensor& w = *params[0].value;
+  Tensor& gw = *params[0].grad;
+
+  const auto loss = [&] {
+    const Tensor out = layer.forward(in, false);
+    double l = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i)
+      l += static_cast<double>(out[i]) * r[i];
+    return l;
+  };
+  const float h = 1e-3f;
+  for (const int64_t i : {0L, 3L, 9L, 17L}) {
+    const float orig = w[i];
+    w[i] = orig + h;
+    const double lp = loss();
+    w[i] = orig - h;
+    const double lm = loss();
+    w[i] = orig;
+    EXPECT_NEAR(gw[i], (lp - lm) / (2.0 * h), 1e-2) << "weight " << i;
+  }
+}
+
+TEST(TrainMaxPool, BackwardRoutesToArgmax) {
+  TrainMaxPoolLayer pool(2, 2, Shape{1, 4, 4});
+  Tensor in(Shape{1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) in[i] = static_cast<float>(i);
+  pool.forward(in, true);
+  Tensor gout(Shape{1, 2, 2});
+  gout.fill(1.0f);
+  const Tensor gin = pool.backward(in, gout);
+  // Winners are the bottom-right of each 2x2 block: indices 5, 7, 13, 15.
+  for (int64_t i = 0; i < 16; ++i) {
+    const bool winner = i == 5 || i == 7 || i == 13 || i == 15;
+    EXPECT_EQ(gin[i], winner ? 1.0f : 0.0f) << i;
+  }
+}
+
+TEST(RegionLoss, GradientMatchesFiniteDifference) {
+  RegionLossConfig cfg;
+  cfg.classes = 2;
+  cfg.num = 2;
+  cfg.anchors = {1.0f, 1.0f, 2.0f, 2.0f};
+  Rng rng(8);
+  Tensor raw = random_tensor(rng, Shape{2 * 7, 3, 3}, -1.0f, 1.0f);
+  std::vector<detect::GroundTruth> truth{
+      {{0.4f, 0.6f, 0.3f, 0.3f}, 1},
+      {{0.8f, 0.2f, 0.2f, 0.25f}, 0},
+  };
+  const RegionLossResult res = region_loss(raw, truth, cfg);
+  EXPECT_EQ(res.assigned, 2);
+
+  const float h = 1e-3f;
+  Rng pick(9);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int64_t i = pick.uniform_int(0, raw.numel() - 1);
+    Tensor plus = raw, minus = raw;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (region_loss(plus, truth, cfg).loss -
+                       region_loss(minus, truth, cfg).loss) /
+                      (2.0 * h);
+    EXPECT_NEAR(res.grad[i], fd, 2e-2 * (std::fabs(fd) + 1.0)) << i;
+  }
+}
+
+TEST(RegionLoss, PerfectPredictionHasSmallLoss) {
+  RegionLossConfig cfg;
+  cfg.classes = 2;
+  cfg.num = 1;
+  cfg.anchors = {2.0f, 2.0f};
+  Tensor raw(Shape{7, 4, 4});
+  // Object centered in cell (1,1), matching the anchor exactly.
+  std::vector<detect::GroundTruth> truth{{{0.375f, 0.375f, 0.5f, 0.5f}, 0}};
+  const int64_t cell = 16, i = 1 * 4 + 1;
+  raw.fill(-8.0f);  // everything squashes to ~0 (incl. objectness)
+  raw[0 * cell + i] = 0.0f;   // σ = 0.5 = target offset
+  raw[1 * cell + i] = 0.0f;
+  raw[2 * cell + i] = 0.0f;   // exp(0)·2/4 = 0.5 = target width
+  raw[3 * cell + i] = 0.0f;
+  raw[4 * cell + i] = 8.0f;   // objectness ~1
+  raw[5 * cell + i] = 8.0f;   // class 0 wins softmax
+  raw[6 * cell + i] = -8.0f;
+  const RegionLossResult res = region_loss(raw, truth, cfg);
+  EXPECT_LT(res.loss, 0.05);
+  EXPECT_GT(res.avg_iou, 0.95);
+}
+
+TEST(Sgd, MomentumAndClamp) {
+  Tensor w(Shape{2}), g(Shape{2}), m(Shape{2});
+  w[0] = 0.95f;
+  g[0] = -10.0f;  // pushes w above 1
+  w[1] = 0.0f;
+  g[1] = 1.0f;
+  Sgd sgd({.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  std::vector<TrainLayer::Param> params{{&w, &g, &m, true}};
+  sgd.step(params);
+  EXPECT_FLOAT_EQ(w[0], 1.0f);   // clamped master weight
+  EXPECT_FLOAT_EQ(w[1], -0.1f);  // plain step
+}
+
+TEST(Detector, VariantsHaveExpectedStructure) {
+  Rng rng(10);
+  DetectorSpec spec;
+  Model tiny = make_detector(DetectorVariant::kTinyS, spec, rng);
+  EXPECT_EQ(tiny.output_shape(),
+            Shape({3 * (5 + 3), spec.input_size / 8, spec.input_size / 8}));
+  Model tincy = make_detector(DetectorVariant::kTincyS, spec, rng);
+  EXPECT_EQ(tincy.output_shape(), tiny.output_shape());
+  // Tincy drops the first pool: one fewer layer.
+  EXPECT_EQ(tincy.num_layers(), tiny.num_layers() - 1);
+}
+
+TEST(Detector, QuantFlagPropagates) {
+  Rng rng(11);
+  DetectorSpec spec;
+  Model m = make_detector(DetectorVariant::kA, spec, rng);
+  int binary = 0;
+  for (int64_t i = 0; i < m.num_layers(); ++i)
+    if (const auto* conv = dynamic_cast<const TrainConvLayer*>(&m.layer(i)))
+      binary += conv->config().binary_weights;
+  EXPECT_EQ(binary, 4);  // the four hidden convs
+}
+
+TEST(Training, ShortRunReducesLoss) {
+  Rng rng(12);
+  DetectorSpec spec;
+  spec.input_size = 32;
+  Model model = make_detector(DetectorVariant::kTinyS, spec, rng);
+  const data::SynthVoc dataset(
+      {.image_size = 32, .num_classes = 3, .max_objects = 1}, 99);
+
+  // Loss on fresh samples before and after a short training run.
+  const auto eval_loss = [&] {
+    double total = 0.0;
+    for (int64_t i = 0; i < 8; ++i) {
+      const auto s = dataset.sample(5000 + i);
+      const Tensor& out = model.forward(s.image, false);
+      total += region_loss(out, s.objects, spec.region).loss;
+    }
+    return total / 8.0;
+  };
+  const double before = eval_loss();
+  TrainConfig cfg;
+  cfg.steps = 60;
+  cfg.batch = 2;
+  cfg.learning_rate = 0.005f;
+  train_detector(model, spec, dataset, cfg);
+  const double after = eval_loss();
+  EXPECT_LT(after, before * 0.9) << before << " -> " << after;
+}
+
+TEST(Training, Deterministic) {
+  // Same seed + same data stream => identical trained weights.
+  const data::SynthVoc dataset(
+      {.image_size = 32, .num_classes = 3, .max_objects = 1}, 3);
+  const auto run = [&] {
+    Rng rng(5);
+    DetectorSpec spec;
+    spec.input_size = 32;
+    Model model = make_detector(DetectorVariant::kTinyS, spec, rng);
+    TrainConfig cfg;
+    cfg.steps = 20;
+    cfg.batch = 2;
+    train_detector(model, spec, dataset, cfg);
+    const auto* conv = dynamic_cast<const TrainConvLayer*>(&model.layer(0));
+    return conv->weights();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Training, SoftmaxCrossEntropyGradient) {
+  Tensor logits(Shape{5});
+  Rng rng(6);
+  for (int64_t i = 0; i < 5; ++i) logits[i] = rng.normal();
+  const auto res = softmax_cross_entropy(logits, 2);
+  // Gradient sums to zero (softmax simplex) and matches finite differences.
+  float sum = 0.0f;
+  for (int64_t i = 0; i < 5; ++i) sum += res.grad[i];
+  EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < 5; ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (softmax_cross_entropy(plus, 2).loss -
+                       softmax_cross_entropy(minus, 2).loss) /
+                      (2.0 * h);
+    EXPECT_NEAR(res.grad[i], fd, 1e-3) << i;
+  }
+}
+
+TEST(Training, BipolarSteGatesGradient) {
+  Rng rng(7);
+  TrainConvConfig cfg;
+  cfg.filters = 1;
+  cfg.size = 1;
+  cfg.pad = false;
+  cfg.activation = nn::Activation::kLinear;
+  cfg.act_bits = 1;
+  cfg.bipolar = true;
+  TrainConvLayer layer(cfg, Shape{1, 1, 1}, rng);
+  // Force weight and bias so pre-activation is controllable: pre = w·x.
+  auto params = layer.params();
+  (*params[0].value)[0] = 1.0f;  // weight
+  (*params[1].value)[0] = 0.0f;  // bias
+
+  Tensor grad_out(Shape{1, 1, 1});
+  grad_out[0] = 1.0f;
+  // |pre| <= 1: gradient passes.
+  Tensor in_small(Shape{1, 1, 1});
+  in_small[0] = 0.5f;
+  layer.forward(in_small, true);
+  EXPECT_NE(layer.backward(in_small, grad_out)[0], 0.0f);
+  // |pre| > 1: hard-tanh STE blocks it.
+  Tensor in_large(Shape{1, 1, 1});
+  in_large[0] = 3.0f;
+  layer.forward(in_large, true);
+  EXPECT_EQ(layer.backward(in_large, grad_out)[0], 0.0f);
+}
+
+TEST(WarmStart, CopiesMatchingConvLayers) {
+  Rng rng_a(20), rng_b(21);
+  DetectorSpec spec;
+  Model source = make_detector(DetectorVariant::kTinyS, spec, rng_a);
+  Model target = make_detector(DetectorVariant::kA, spec, rng_b);
+  // Same topology modulo activation/quantization: every conv matches.
+  const int64_t copied = target.warm_start_from(source);
+  EXPECT_EQ(copied, 6);
+  const auto* src0 = dynamic_cast<const TrainConvLayer*>(&source.layer(0));
+  const auto* dst0 = dynamic_cast<const TrainConvLayer*>(&target.layer(0));
+  EXPECT_EQ(src0->weights(), dst0->weights());
+}
+
+TEST(WarmStart, SkipsMismatchedShapes) {
+  Rng rng_a(22), rng_b(23);
+  DetectorSpec spec;
+  Model source = make_detector(DetectorVariant::kTinyS, spec, rng_a);
+  Model target = make_detector(DetectorVariant::kABC, spec, rng_b);
+  // (b)/(c) change channel counts: only the first conv matches.
+  EXPECT_EQ(target.warm_start_from(source), 1);
+}
+
+TEST(ExportTo, CopiesWeightsIntoInferenceNetwork) {
+  Rng rng(13);
+  TrainConvConfig tc;
+  tc.filters = 4;
+  Model model(Shape{3, 8, 8});
+  model.add(std::make_unique<TrainConvLayer>(tc, Shape{3, 8, 8}, rng));
+
+  auto net = nn::build_network_from_string(
+      "[net]\nwidth=8\nheight=8\nchannels=3\n"
+      "[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\n"
+      "activation=leaky\n");
+  model.export_to(*net);
+  const auto* conv = dynamic_cast<const nn::ConvLayer*>(&net->layer(0));
+  ASSERT_NE(conv, nullptr);
+  const auto* tconv = dynamic_cast<const TrainConvLayer*>(&model.layer(0));
+  EXPECT_EQ(conv->weights(), tconv->weights());
+  EXPECT_EQ(conv->biases(), tconv->biases());
+}
+
+}  // namespace
+}  // namespace tincy::train

@@ -1,0 +1,199 @@
+// The `tincy` command-line tool — the Darknet-style front end of the
+// reproduction. Subcommands:
+//
+//   tincy summary <cfg>                         layer table + op counts
+//   tincy ops <cfg>                             Table-I/II style accounting
+//   tincy detect <cfg> <weights|-> <in.ppm> [thresh] [out.ppm]
+//                                               single-image detection
+//   tincy demo [frames] [workers]               pipelined live demo (Fig. 5)
+//   tincy export-binparam <cfg> <weights|-> <dir>
+//                                               fabric parameter export
+//   tincy ladder                                the Sec. III speedup ladder
+//
+// cfg arguments accept either a file path or one of the zoo shorthands
+// `zoo:tiny`, `zoo:tincy`, `zoo:tincy-w1a3`, `zoo:mlp4`, `zoo:cnv6`.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/string_utils.hpp"
+#include "data/image.hpp"
+#include "detect/decode.hpp"
+#include "detect/nms.hpp"
+#include "nn/builder.hpp"
+#include "nn/describe.hpp"
+#include "nn/ops.hpp"
+#include "nn/region_layer.hpp"
+#include "nn/weights_io.hpp"
+#include "nn/zoo.hpp"
+#include "offload/import.hpp"
+#include "offload/registration.hpp"
+#include "perf/ladder.hpp"
+#include "pipeline/demo.hpp"
+#include "video/draw.hpp"
+#include "video/ppm.hpp"
+
+using namespace tincy;
+
+namespace {
+
+std::unique_ptr<nn::Network> open_network(const std::string& spec) {
+  using namespace nn::zoo;
+  offload::register_standard_backends();
+  if (spec == "zoo:tiny")
+    return build(tiny_yolo_cfg(TinyVariant::kTiny, QuantMode::kFloat));
+  if (spec == "zoo:tincy")
+    return build(tiny_yolo_cfg(TinyVariant::kTincy, QuantMode::kFloat));
+  if (spec == "zoo:tincy-w1a3")
+    return build(tiny_yolo_cfg(TinyVariant::kTincy, QuantMode::kW1A3, 416,
+                               CpuProfile::kOptimized));
+  if (spec == "zoo:mlp4") return build(mlp4_cfg());
+  if (spec == "zoo:cnv6") return build(cnv6_cfg());
+  return nn::build_network_from_file(spec);
+}
+
+void maybe_load_weights(nn::Network& net, const std::string& weights) {
+  if (weights == "-") {
+    Rng rng(1);
+    nn::zoo::randomize(net, rng);
+    std::fprintf(stderr, "(using random weights)\n");
+  } else {
+    nn::load_weights(net, weights);
+  }
+}
+
+int cmd_summary(const std::string& cfg) {
+  const auto net = open_network(cfg);
+  std::fputs(nn::summary(*net).c_str(), stdout);
+  return 0;
+}
+
+int cmd_ops(const std::string& cfg) {
+  const auto net = open_network(cfg);
+  std::fputs(nn::summary(*net).c_str(), stdout);
+  const auto w = nn::dot_product_workload(*net);
+  std::printf(
+      "\ndot-product workload: reduced %s [%s], 8-bit %s, float %s\n",
+      with_commas(w.reduced_ops).c_str(), w.reduced_precision.name().c_str(),
+      with_commas(w.eight_bit_ops).c_str(), with_commas(w.float_ops).c_str());
+  return 0;
+}
+
+int cmd_detect(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: tincy detect <cfg> <weights|-> <in.ppm> "
+                 "[thresh] [out.ppm]\n");
+    return 2;
+  }
+  const auto net = open_network(argv[0]);
+  maybe_load_weights(*net, argv[1]);
+  const Tensor image = video::read_ppm(argv[2]);
+  const float thresh = argc > 3 ? std::strtof(argv[3], nullptr) : 0.3f;
+
+  const auto* region = dynamic_cast<const nn::RegionLayer*>(
+      &net->layer(net->num_layers() - 1));
+  if (!region) {
+    std::fprintf(stderr, "network does not end in a [region] layer\n");
+    return 1;
+  }
+  const int64_t input_size = net->input_shape().height();
+  const Tensor boxed = data::letterbox(image, input_size);
+  const Tensor& features = net->forward(boxed);
+  auto dets = detect::nms(
+      detect::decode_region(features, region->config(), thresh));
+  const int64_t w = image.shape().width(), h = image.shape().height();
+  for (auto& d : dets)
+    data::unletterbox_box(d.box.x, d.box.y, d.box.w, d.box.h, w, h,
+                          input_size);
+
+  std::printf("%zu detections:\n", dets.size());
+  for (const auto& d : dets)
+    std::printf("  class %2d  score %.2f  box (%.3f, %.3f, %.3f, %.3f)\n",
+                d.class_id, d.score(), d.box.x, d.box.y, d.box.w, d.box.h);
+  if (argc > 4) {
+    Tensor annotated = image;
+    video::draw_detections(annotated, dets);
+    video::write_ppm(argv[4], annotated);
+    std::printf("wrote %s\n", argv[4]);
+  }
+  return 0;
+}
+
+int cmd_demo(int argc, char** argv) {
+  const int64_t frames = argc > 0 ? std::atoll(argv[0]) : 64;
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  auto net = nn::zoo::build(nn::zoo::tiny_yolo_cfg(
+      nn::zoo::TinyVariant::kTincy, nn::zoo::QuantMode::kFloat, 64,
+      nn::zoo::CpuProfile::kFused));
+  Rng rng(3);
+  nn::zoo::randomize(*net, rng);
+  video::SyntheticCamera camera({.width = 128, .height = 96, .seed = 17});
+  video::OrderCheckingSink sink;
+  pipeline::DemoConfig cfg;
+  cfg.num_workers = workers;
+  const auto result = pipeline::run_demo(camera, *net, sink, frames, cfg);
+  std::printf("%lld frames, %.1f fps, order %s\n",
+              static_cast<long long>(sink.frames_received()), result.fps,
+              sink.in_order() ? "preserved" : "VIOLATED");
+  return sink.in_order() ? 0 : 1;
+}
+
+int cmd_export_binparam(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: tincy export-binparam <cfg> <weights|-> <dir>\n");
+    return 2;
+  }
+  const auto net = open_network(argv[0]);
+  maybe_load_weights(*net, argv[1]);
+  offload::export_binparams(*net, argv[2]);
+  std::printf("exported %lld stage(s) to %s\n",
+              static_cast<long long>(fabric::load_binparams(argv[2]).size()),
+              argv[2]);
+  return 0;
+}
+
+int cmd_ladder() {
+  const perf::ZynqPlatform platform;
+  for (const auto& step : perf::optimization_ladder(platform))
+    std::printf("%-48s %7.2f fps  (%.1fx total)\n", step.name.c_str(),
+                step.fps, step.speedup_total);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "tincy — Tincy YOLO reproduction CLI\n"
+      "  tincy summary <cfg|zoo:...>\n"
+      "  tincy ops <cfg|zoo:...>\n"
+      "  tincy detect <cfg|zoo:...> <weights|-> <in.ppm> [thresh] [out.ppm]\n"
+      "  tincy demo [frames] [workers]\n"
+      "  tincy export-binparam <cfg|zoo:...> <weights|-> <dir>\n"
+      "  tincy ladder\n"
+      "zoo shorthands: zoo:tiny zoo:tincy zoo:tincy-w1a3 zoo:mlp4 zoo:cnv6\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "summary" && argc >= 3) return cmd_summary(argv[2]);
+    if (cmd == "ops" && argc >= 3) return cmd_ops(argv[2]);
+    if (cmd == "detect") return cmd_detect(argc - 2, argv + 2);
+    if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
+    if (cmd == "export-binparam")
+      return cmd_export_binparam(argc - 2, argv + 2);
+    if (cmd == "ladder") return cmd_ladder();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
