@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accumulators.dir/ablation_accumulators.cpp.o"
+  "CMakeFiles/ablation_accumulators.dir/ablation_accumulators.cpp.o.d"
+  "ablation_accumulators"
+  "ablation_accumulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

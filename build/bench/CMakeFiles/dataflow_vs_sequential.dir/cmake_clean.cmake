@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_vs_sequential.dir/dataflow_vs_sequential.cpp.o"
+  "CMakeFiles/dataflow_vs_sequential.dir/dataflow_vs_sequential.cpp.o.d"
+  "dataflow_vs_sequential"
+  "dataflow_vs_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dataflow_vs_sequential.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_cycles.dir/fabric_cycles.cpp.o"
+  "CMakeFiles/fabric_cycles.dir/fabric_cycles.cpp.o.d"
+  "fabric_cycles"
+  "fabric_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_convolution.dir/fig1_convolution.cpp.o"
+  "CMakeFiles/fig1_convolution.dir/fig1_convolution.cpp.o.d"
+  "fig1_convolution"
+  "fig1_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_platform.dir/fig2_platform.cpp.o"
+  "CMakeFiles/fig2_platform.dir/fig2_platform.cpp.o.d"
+  "fig2_platform"
+  "fig2_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_offload.dir/fig34_offload.cpp.o"
+  "CMakeFiles/fig34_offload.dir/fig34_offload.cpp.o.d"
+  "fig34_offload"
+  "fig34_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_speedups.dir/ladder_speedups.cpp.o"
+  "CMakeFiles/ladder_speedups.dir/ladder_speedups.cpp.o.d"
+  "ladder_speedups"
+  "ladder_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ops.dir/table1_ops.cpp.o"
+  "CMakeFiles/table1_ops.dir/table1_ops.cpp.o.d"
+  "table1_ops"
+  "table1_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

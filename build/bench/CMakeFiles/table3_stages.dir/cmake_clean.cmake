@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_stages.dir/table3_stages.cpp.o"
+  "CMakeFiles/table3_stages.dir/table3_stages.cpp.o.d"
+  "table3_stages"
+  "table3_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

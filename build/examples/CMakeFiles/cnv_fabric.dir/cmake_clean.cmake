@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_fabric.dir/cnv_fabric.cpp.o"
+  "CMakeFiles/cnv_fabric.dir/cnv_fabric.cpp.o.d"
+  "cnv_fabric"
+  "cnv_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_video_demo.dir/live_video_demo.cpp.o"
+  "CMakeFiles/live_video_demo.dir/live_video_demo.cpp.o.d"
+  "live_video_demo"
+  "live_video_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_video_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_fabric.dir/mlp_fabric.cpp.o"
+  "CMakeFiles/mlp_fabric.dir/mlp_fabric.cpp.o.d"
+  "mlp_fabric"
+  "mlp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_custom_layer.dir/offload_custom_layer.cpp.o"
+  "CMakeFiles/offload_custom_layer.dir/offload_custom_layer.cpp.o.d"
+  "offload_custom_layer"
+  "offload_custom_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_custom_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_network.dir/quantize_network.cpp.o"
+  "CMakeFiles/quantize_network.dir/quantize_network.cpp.o.d"
+  "quantize_network"
+  "quantize_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

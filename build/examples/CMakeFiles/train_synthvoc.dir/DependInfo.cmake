@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_synthvoc.cpp" "examples/CMakeFiles/train_synthvoc.dir/train_synthvoc.cpp.o" "gcc" "examples/CMakeFiles/train_synthvoc.dir/train_synthvoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/tincy_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tincy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/tincy_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tincy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/tincy_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tincy_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

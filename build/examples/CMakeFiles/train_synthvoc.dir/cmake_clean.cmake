@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_synthvoc.dir/train_synthvoc.cpp.o"
+  "CMakeFiles/train_synthvoc.dir/train_synthvoc.cpp.o.d"
+  "train_synthvoc"
+  "train_synthvoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_synthvoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

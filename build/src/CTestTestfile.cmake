@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("simd")
+subdirs("gemm")
+subdirs("quant")
+subdirs("nn")
+subdirs("fabric")
+subdirs("offload")
+subdirs("detect")
+subdirs("data")
+subdirs("video")
+subdirs("pipeline")
+subdirs("perf")
+subdirs("train")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_core.dir/bitvector.cpp.o"
+  "CMakeFiles/tincy_core.dir/bitvector.cpp.o.d"
+  "CMakeFiles/tincy_core.dir/rng.cpp.o"
+  "CMakeFiles/tincy_core.dir/rng.cpp.o.d"
+  "CMakeFiles/tincy_core.dir/shape.cpp.o"
+  "CMakeFiles/tincy_core.dir/shape.cpp.o.d"
+  "CMakeFiles/tincy_core.dir/string_utils.cpp.o"
+  "CMakeFiles/tincy_core.dir/string_utils.cpp.o.d"
+  "libtincy_core.a"
+  "libtincy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_data.dir/image.cpp.o"
+  "CMakeFiles/tincy_data.dir/image.cpp.o.d"
+  "CMakeFiles/tincy_data.dir/synthdigits.cpp.o"
+  "CMakeFiles/tincy_data.dir/synthdigits.cpp.o.d"
+  "CMakeFiles/tincy_data.dir/synthvoc.cpp.o"
+  "CMakeFiles/tincy_data.dir/synthvoc.cpp.o.d"
+  "libtincy_data.a"
+  "libtincy_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtincy_data.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_detect.dir/box.cpp.o"
+  "CMakeFiles/tincy_detect.dir/box.cpp.o.d"
+  "CMakeFiles/tincy_detect.dir/decode.cpp.o"
+  "CMakeFiles/tincy_detect.dir/decode.cpp.o.d"
+  "CMakeFiles/tincy_detect.dir/map.cpp.o"
+  "CMakeFiles/tincy_detect.dir/map.cpp.o.d"
+  "CMakeFiles/tincy_detect.dir/nms.cpp.o"
+  "CMakeFiles/tincy_detect.dir/nms.cpp.o.d"
+  "libtincy_detect.a"
+  "libtincy_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

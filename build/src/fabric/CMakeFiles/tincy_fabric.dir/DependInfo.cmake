@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/accelerator.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/accelerator.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/accelerator.cpp.o.d"
+  "/root/repo/src/fabric/binparam.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/binparam.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/binparam.cpp.o.d"
+  "/root/repo/src/fabric/dataflow.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/dataflow.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/dataflow.cpp.o.d"
+  "/root/repo/src/fabric/folding.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/folding.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/folding.cpp.o.d"
+  "/root/repo/src/fabric/mvtu.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/mvtu.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/mvtu.cpp.o.d"
+  "/root/repo/src/fabric/pool_unit.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/pool_unit.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/pool_unit.cpp.o.d"
+  "/root/repo/src/fabric/resource_model.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/resource_model.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/resource_model.cpp.o.d"
+  "/root/repo/src/fabric/sliding_window.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/sliding_window.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/fabric/ternary_mvtu.cpp" "src/fabric/CMakeFiles/tincy_fabric.dir/ternary_mvtu.cpp.o" "gcc" "src/fabric/CMakeFiles/tincy_fabric.dir/ternary_mvtu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tincy_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/tincy_gemm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_fabric.dir/accelerator.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/accelerator.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/binparam.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/binparam.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/dataflow.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/dataflow.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/folding.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/folding.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/mvtu.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/mvtu.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/pool_unit.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/pool_unit.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/resource_model.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/resource_model.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/sliding_window.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/tincy_fabric.dir/ternary_mvtu.cpp.o"
+  "CMakeFiles/tincy_fabric.dir/ternary_mvtu.cpp.o.d"
+  "libtincy_fabric.a"
+  "libtincy_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/first_layer.cpp" "src/gemm/CMakeFiles/tincy_gemm.dir/first_layer.cpp.o" "gcc" "src/gemm/CMakeFiles/tincy_gemm.dir/first_layer.cpp.o.d"
+  "/root/repo/src/gemm/gemm_lowp.cpp" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_lowp.cpp.o" "gcc" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_lowp.cpp.o.d"
+  "/root/repo/src/gemm/gemm_ref.cpp" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_ref.cpp.o" "gcc" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_ref.cpp.o.d"
+  "/root/repo/src/gemm/gemm_simd.cpp" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_simd.cpp.o" "gcc" "src/gemm/CMakeFiles/tincy_gemm.dir/gemm_simd.cpp.o.d"
+  "/root/repo/src/gemm/im2col.cpp" "src/gemm/CMakeFiles/tincy_gemm.dir/im2col.cpp.o" "gcc" "src/gemm/CMakeFiles/tincy_gemm.dir/im2col.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tincy_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_gemm.dir/first_layer.cpp.o"
+  "CMakeFiles/tincy_gemm.dir/first_layer.cpp.o.d"
+  "CMakeFiles/tincy_gemm.dir/gemm_lowp.cpp.o"
+  "CMakeFiles/tincy_gemm.dir/gemm_lowp.cpp.o.d"
+  "CMakeFiles/tincy_gemm.dir/gemm_ref.cpp.o"
+  "CMakeFiles/tincy_gemm.dir/gemm_ref.cpp.o.d"
+  "CMakeFiles/tincy_gemm.dir/gemm_simd.cpp.o"
+  "CMakeFiles/tincy_gemm.dir/gemm_simd.cpp.o.d"
+  "CMakeFiles/tincy_gemm.dir/im2col.cpp.o"
+  "CMakeFiles/tincy_gemm.dir/im2col.cpp.o.d"
+  "libtincy_gemm.a"
+  "libtincy_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

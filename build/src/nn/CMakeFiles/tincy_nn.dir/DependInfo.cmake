@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/tincy_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/builder.cpp" "src/nn/CMakeFiles/tincy_nn.dir/builder.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/builder.cpp.o.d"
+  "/root/repo/src/nn/cfg.cpp" "src/nn/CMakeFiles/tincy_nn.dir/cfg.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/cfg.cpp.o.d"
+  "/root/repo/src/nn/connected_layer.cpp" "src/nn/CMakeFiles/tincy_nn.dir/connected_layer.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/connected_layer.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/nn/CMakeFiles/tincy_nn.dir/conv_layer.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/describe.cpp" "src/nn/CMakeFiles/tincy_nn.dir/describe.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/describe.cpp.o.d"
+  "/root/repo/src/nn/maxpool_layer.cpp" "src/nn/CMakeFiles/tincy_nn.dir/maxpool_layer.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/maxpool_layer.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/tincy_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/offload_layer.cpp" "src/nn/CMakeFiles/tincy_nn.dir/offload_layer.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/offload_layer.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/tincy_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/region_layer.cpp" "src/nn/CMakeFiles/tincy_nn.dir/region_layer.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/region_layer.cpp.o.d"
+  "/root/repo/src/nn/weights_io.cpp" "src/nn/CMakeFiles/tincy_nn.dir/weights_io.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/weights_io.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/tincy_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/tincy_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/tincy_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tincy_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_nn.dir/activation.cpp.o"
+  "CMakeFiles/tincy_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/builder.cpp.o"
+  "CMakeFiles/tincy_nn.dir/builder.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/cfg.cpp.o"
+  "CMakeFiles/tincy_nn.dir/cfg.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/connected_layer.cpp.o"
+  "CMakeFiles/tincy_nn.dir/connected_layer.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/conv_layer.cpp.o"
+  "CMakeFiles/tincy_nn.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/describe.cpp.o"
+  "CMakeFiles/tincy_nn.dir/describe.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/maxpool_layer.cpp.o"
+  "CMakeFiles/tincy_nn.dir/maxpool_layer.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/network.cpp.o"
+  "CMakeFiles/tincy_nn.dir/network.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/offload_layer.cpp.o"
+  "CMakeFiles/tincy_nn.dir/offload_layer.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/ops.cpp.o"
+  "CMakeFiles/tincy_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/region_layer.cpp.o"
+  "CMakeFiles/tincy_nn.dir/region_layer.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/weights_io.cpp.o"
+  "CMakeFiles/tincy_nn.dir/weights_io.cpp.o.d"
+  "CMakeFiles/tincy_nn.dir/zoo.cpp.o"
+  "CMakeFiles/tincy_nn.dir/zoo.cpp.o.d"
+  "libtincy_nn.a"
+  "libtincy_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

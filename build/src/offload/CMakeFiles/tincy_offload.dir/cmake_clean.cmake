@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_offload.dir/cpu_backend.cpp.o"
+  "CMakeFiles/tincy_offload.dir/cpu_backend.cpp.o.d"
+  "CMakeFiles/tincy_offload.dir/fabric_backend.cpp.o"
+  "CMakeFiles/tincy_offload.dir/fabric_backend.cpp.o.d"
+  "CMakeFiles/tincy_offload.dir/import.cpp.o"
+  "CMakeFiles/tincy_offload.dir/import.cpp.o.d"
+  "CMakeFiles/tincy_offload.dir/registration.cpp.o"
+  "CMakeFiles/tincy_offload.dir/registration.cpp.o.d"
+  "libtincy_offload.a"
+  "libtincy_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_perf.dir/ladder.cpp.o"
+  "CMakeFiles/tincy_perf.dir/ladder.cpp.o.d"
+  "CMakeFiles/tincy_perf.dir/platform.cpp.o"
+  "CMakeFiles/tincy_perf.dir/platform.cpp.o.d"
+  "CMakeFiles/tincy_perf.dir/stage_times.cpp.o"
+  "CMakeFiles/tincy_perf.dir/stage_times.cpp.o.d"
+  "libtincy_perf.a"
+  "libtincy_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

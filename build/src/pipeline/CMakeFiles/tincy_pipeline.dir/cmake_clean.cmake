@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_pipeline.dir/demo.cpp.o"
+  "CMakeFiles/tincy_pipeline.dir/demo.cpp.o.d"
+  "CMakeFiles/tincy_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/tincy_pipeline.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tincy_pipeline.dir/virtual_time.cpp.o"
+  "CMakeFiles/tincy_pipeline.dir/virtual_time.cpp.o.d"
+  "libtincy_pipeline.a"
+  "libtincy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

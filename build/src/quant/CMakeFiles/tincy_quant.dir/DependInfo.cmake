@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/affine.cpp" "src/quant/CMakeFiles/tincy_quant.dir/affine.cpp.o" "gcc" "src/quant/CMakeFiles/tincy_quant.dir/affine.cpp.o.d"
+  "/root/repo/src/quant/binary.cpp" "src/quant/CMakeFiles/tincy_quant.dir/binary.cpp.o" "gcc" "src/quant/CMakeFiles/tincy_quant.dir/binary.cpp.o.d"
+  "/root/repo/src/quant/ternary.cpp" "src/quant/CMakeFiles/tincy_quant.dir/ternary.cpp.o" "gcc" "src/quant/CMakeFiles/tincy_quant.dir/ternary.cpp.o.d"
+  "/root/repo/src/quant/thresholds.cpp" "src/quant/CMakeFiles/tincy_quant.dir/thresholds.cpp.o" "gcc" "src/quant/CMakeFiles/tincy_quant.dir/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_quant.dir/affine.cpp.o"
+  "CMakeFiles/tincy_quant.dir/affine.cpp.o.d"
+  "CMakeFiles/tincy_quant.dir/binary.cpp.o"
+  "CMakeFiles/tincy_quant.dir/binary.cpp.o.d"
+  "CMakeFiles/tincy_quant.dir/ternary.cpp.o"
+  "CMakeFiles/tincy_quant.dir/ternary.cpp.o.d"
+  "CMakeFiles/tincy_quant.dir/thresholds.cpp.o"
+  "CMakeFiles/tincy_quant.dir/thresholds.cpp.o.d"
+  "libtincy_quant.a"
+  "libtincy_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

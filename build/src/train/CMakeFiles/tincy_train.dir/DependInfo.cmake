@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/layers.cpp" "src/train/CMakeFiles/tincy_train.dir/layers.cpp.o" "gcc" "src/train/CMakeFiles/tincy_train.dir/layers.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/tincy_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/tincy_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/model.cpp" "src/train/CMakeFiles/tincy_train.dir/model.cpp.o" "gcc" "src/train/CMakeFiles/tincy_train.dir/model.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/train/CMakeFiles/tincy_train.dir/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/tincy_train.dir/optimizer.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/tincy_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/tincy_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tincy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/tincy_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tincy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/tincy_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tincy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tincy_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

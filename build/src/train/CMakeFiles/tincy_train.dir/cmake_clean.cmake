@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_train.dir/layers.cpp.o"
+  "CMakeFiles/tincy_train.dir/layers.cpp.o.d"
+  "CMakeFiles/tincy_train.dir/loss.cpp.o"
+  "CMakeFiles/tincy_train.dir/loss.cpp.o.d"
+  "CMakeFiles/tincy_train.dir/model.cpp.o"
+  "CMakeFiles/tincy_train.dir/model.cpp.o.d"
+  "CMakeFiles/tincy_train.dir/optimizer.cpp.o"
+  "CMakeFiles/tincy_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tincy_train.dir/trainer.cpp.o"
+  "CMakeFiles/tincy_train.dir/trainer.cpp.o.d"
+  "libtincy_train.a"
+  "libtincy_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

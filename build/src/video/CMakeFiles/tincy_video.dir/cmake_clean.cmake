@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy_video.dir/camera.cpp.o"
+  "CMakeFiles/tincy_video.dir/camera.cpp.o.d"
+  "CMakeFiles/tincy_video.dir/draw.cpp.o"
+  "CMakeFiles/tincy_video.dir/draw.cpp.o.d"
+  "CMakeFiles/tincy_video.dir/frame.cpp.o"
+  "CMakeFiles/tincy_video.dir/frame.cpp.o.d"
+  "CMakeFiles/tincy_video.dir/ppm.cpp.o"
+  "CMakeFiles/tincy_video.dir/ppm.cpp.o.d"
+  "CMakeFiles/tincy_video.dir/sink.cpp.o"
+  "CMakeFiles/tincy_video.dir/sink.cpp.o.d"
+  "libtincy_video.a"
+  "libtincy_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

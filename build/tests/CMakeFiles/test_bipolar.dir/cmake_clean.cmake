@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bipolar.dir/test_bipolar.cpp.o"
+  "CMakeFiles/test_bipolar.dir/test_bipolar.cpp.o.d"
+  "test_bipolar"
+  "test_bipolar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bipolar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_builder.dir/test_cfg_builder.cpp.o"
+  "CMakeFiles/test_cfg_builder.dir/test_cfg_builder.cpp.o.d"
+  "test_cfg_builder"
+  "test_cfg_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant_conv.dir/test_quant_conv.cpp.o"
+  "CMakeFiles/test_quant_conv.dir/test_quant_conv.cpp.o.d"
+  "test_quant_conv"
+  "test_quant_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tincy.dir/tincy_cli.cpp.o"
+  "CMakeFiles/tincy.dir/tincy_cli.cpp.o.d"
+  "tincy"
+  "tincy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tincy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

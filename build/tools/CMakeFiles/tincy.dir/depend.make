@@ -1,0 +1,2 @@
+# Empty dependencies file for tincy.
+# This may be replaced when dependencies are built.
