@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "simd/vec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tincy::gemm {
 
@@ -72,18 +73,27 @@ void conv_lowp_f32out(const float* image, const ConvGeometry& g,
                       const uint8_t* weights,
                       const quant::AffineParams& weight_params,
                       int64_t out_channels, const float* bias, float* out) {
+  // Same im2col vs. GEMM attribution as the float path (Table III).
+  auto& registry = telemetry::MetricsRegistry::global();
+  static telemetry::Histogram& im2col_hist =
+      registry.histogram("gemm.im2col_ms");
+  static telemetry::Histogram& gemm_hist = registry.histogram("gemm.gemm_ms");
+
   const int64_t patch = g.patch_size(), n = g.num_patches();
   // Quantize the image while arranging the multiplicand (paper §III-D):
   // quantize once, then im2col over codes with the zero-point as padding.
   std::vector<uint8_t> qimage(
       static_cast<size_t>(g.in_channels * g.in_height * g.in_width));
-  for (size_t i = 0; i < qimage.size(); ++i)
-    qimage[i] = input_params.quantize(image[i]);
-
   std::vector<uint8_t> columns(static_cast<size_t>(patch * n));
-  im2col(qimage.data(), g, columns.data(),
-         static_cast<uint8_t>(input_params.zero_point));
+  {
+    telemetry::ScopedTimer span(im2col_hist);
+    for (size_t i = 0; i < qimage.size(); ++i)
+      qimage[i] = input_params.quantize(image[i]);
+    im2col(qimage.data(), g, columns.data(),
+           static_cast<uint8_t>(input_params.zero_point));
+  }
 
+  telemetry::ScopedTimer span(gemm_hist);
   std::vector<int32_t> acc(static_cast<size_t>(n));
   const float real_scale = input_params.scale * weight_params.scale;
   for (int64_t m = 0; m < out_channels; ++m) {
@@ -130,6 +140,11 @@ void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
                             const quant::AffineParams& weight_params,
                             int64_t out_channels, const float* bias,
                             float* out) {
+  // The fused path has no separable im2col stage; one span covers it.
+  static telemetry::Histogram& fused_hist =
+      telemetry::MetricsRegistry::global().histogram("gemm.fused_ms");
+  telemetry::ScopedTimer timer(fused_hist);
+
   constexpr int64_t kStrip = 8;  // eight 16-bit lanes, as on NEON
   const int64_t patch = g.patch_size(), n = g.num_patches();
   std::vector<uint8_t> qimage(

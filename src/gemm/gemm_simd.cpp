@@ -4,6 +4,7 @@
 
 #include "gemm/gemm_ref.hpp"
 #include "simd/vec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tincy::gemm {
 
@@ -93,6 +94,11 @@ void im2col_strip_f32(const float* image, const ConvGeometry& g, int64_t col0,
 void fused_conv_f32(const float* image, const ConvGeometry& g,
                     const float* weights, int64_t out_channels,
                     const float* bias, float* out) {
+  // The fused path has no separable im2col stage; one span covers it.
+  static telemetry::Histogram& fused_hist =
+      telemetry::MetricsRegistry::global().histogram("gemm.fused_ms");
+  telemetry::ScopedTimer timer(fused_hist);
+
   constexpr int64_t kLanes = F32x4::kLanes;
   const int64_t patch = g.patch_size();
   const int64_t n = g.num_patches();
@@ -124,9 +130,20 @@ void fused_conv_f32(const float* image, const ConvGeometry& g,
 void conv_via_im2col_f32(const float* image, const ConvGeometry& g,
                          const float* weights, int64_t out_channels,
                          const float* bias, float* out) {
+  // Attribute the im2col materialization separately from the GEMM — the
+  // two stages Table III distinguishes for the generic CPU path.
+  auto& registry = telemetry::MetricsRegistry::global();
+  static telemetry::Histogram& im2col_hist =
+      registry.histogram("gemm.im2col_ms");
+  static telemetry::Histogram& gemm_hist = registry.histogram("gemm.gemm_ms");
+
   const int64_t patch = g.patch_size(), n = g.num_patches();
   std::vector<float> columns(static_cast<size_t>(patch * n));
-  im2col(image, g, columns.data(), 0.0f);
+  {
+    telemetry::ScopedTimer span(im2col_hist);
+    im2col(image, g, columns.data(), 0.0f);
+  }
+  telemetry::ScopedTimer span(gemm_hist);
   gemm_ref(out_channels, n, patch, weights, columns.data(), out, 0.0f);
   if (bias) {
     for (int64_t m = 0; m < out_channels; ++m)

@@ -92,13 +92,14 @@ LayerPtr make_offload(const Section& s, Shape in_shape) {
 
 }  // namespace
 
-std::unique_ptr<Network> build_network(const std::vector<Section>& sections) {
+std::unique_ptr<Network> build_network(const std::vector<Section>& sections,
+                                       telemetry::MetricsRegistry* metrics) {
   TINCY_CHECK_MSG(!sections.empty() && sections.front().name == "net",
                   "cfg must start with a [net] section");
   const Section& net_s = sections.front();
   const Shape input{net_s.get_int("channels", 3), net_s.get_int("height", 416),
                     net_s.get_int("width", 416)};
-  auto net = std::make_unique<Network>(input);
+  auto net = std::make_unique<Network>(input, metrics);
 
   for (size_t i = 1; i < sections.size(); ++i) {
     const Section& s = sections[i];
@@ -124,12 +125,13 @@ std::unique_ptr<Network> build_network(const std::vector<Section>& sections) {
 }
 
 std::unique_ptr<Network> build_network_from_string(
-    const std::string& cfg_text) {
-  return build_network(parse_cfg(cfg_text));
+    const std::string& cfg_text, telemetry::MetricsRegistry* metrics) {
+  return build_network(parse_cfg(cfg_text), metrics);
 }
 
-std::unique_ptr<Network> build_network_from_file(const std::string& path) {
-  return build_network(parse_cfg_file(path));
+std::unique_ptr<Network> build_network_from_file(
+    const std::string& path, telemetry::MetricsRegistry* metrics) {
+  return build_network(parse_cfg_file(path), metrics);
 }
 
 }  // namespace tincy::nn

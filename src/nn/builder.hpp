@@ -14,13 +14,19 @@
 namespace tincy::nn {
 
 /// Builds the network described by the sections; the first section must be
-/// [net] with width/height/channels.
-std::unique_ptr<Network> build_network(const std::vector<Section>& sections);
+/// [net] with width/height/channels. `metrics` selects the telemetry
+/// registry the network reports into (null: the process-wide default) —
+/// offload backends pass a private registry so their internal subnet
+/// spans do not pollute the host network's `net.layer.*` namespace.
+std::unique_ptr<Network> build_network(const std::vector<Section>& sections,
+                                       telemetry::MetricsRegistry* metrics = nullptr);
 
 /// Convenience: parse + build from cfg text.
-std::unique_ptr<Network> build_network_from_string(const std::string& cfg_text);
+std::unique_ptr<Network> build_network_from_string(const std::string& cfg_text,
+                                                   telemetry::MetricsRegistry* metrics = nullptr);
 
 /// Convenience: parse + build from a cfg file.
-std::unique_ptr<Network> build_network_from_file(const std::string& path);
+std::unique_ptr<Network> build_network_from_file(const std::string& path,
+                                                 telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace tincy::nn

@@ -2,14 +2,19 @@
 
 namespace tincy::nn {
 
-Network::Network(Shape input_shape) : input_shape_(input_shape) {
+Network::Network(Shape input_shape, telemetry::MetricsRegistry* metrics)
+    : input_shape_(input_shape),
+      metrics_(metrics ? metrics : &telemetry::MetricsRegistry::global()) {
   TINCY_CHECK_MSG(input_shape.rank() >= 1, "empty input shape");
+  forward_hist_ = &metrics_->histogram("net.forward.ms");
 }
 
 void Network::add(LayerPtr layer) {
   TINCY_CHECK(layer != nullptr);
   outputs_.emplace_back(layer->output_shape());
-  layer_ms_.push_back(0.0);
+  layer_hist_.push_back(&metrics_->histogram(
+      "net.layer." + std::to_string(layers_.size()) + "." +
+      layer->type_name() + ".ms"));
   layers_.push_back(std::move(layer));
 }
 
@@ -26,6 +31,7 @@ Shape Network::output_shape() const {
 
 const Tensor& Network::forward(const Tensor& input) {
   TINCY_CHECK_MSG(!layers_.empty(), "empty network");
+  telemetry::ScopedTimer span(*forward_hist_);
   const Tensor* current = &input;
   for (int64_t i = 0; i < num_layers(); ++i) {
     current = &run_layer(i, *current);
@@ -35,12 +41,14 @@ const Tensor& Network::forward(const Tensor& input) {
 
 const Tensor& Network::run_layer(int64_t i, const Tensor& in) {
   TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
-  const auto t0 = std::chrono::steady_clock::now();
-  layers_[static_cast<size_t>(i)]->forward(in, outputs_[static_cast<size_t>(i)]);
-  const auto t1 = std::chrono::steady_clock::now();
-  layer_ms_[static_cast<size_t>(i)] =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  run_layer_into(i, in, outputs_[static_cast<size_t>(i)]);
   return outputs_[static_cast<size_t>(i)];
+}
+
+void Network::run_layer_into(int64_t i, const Tensor& in, Tensor& out) {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  telemetry::ScopedTimer span(*layer_hist_[static_cast<size_t>(i)]);
+  layers_[static_cast<size_t>(i)]->forward(in, out);
 }
 
 const Tensor& Network::layer_output(int64_t i) const {
@@ -50,7 +58,11 @@ const Tensor& Network::layer_output(int64_t i) const {
 
 double Network::last_layer_ms(int64_t i) const {
   TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
-  return layer_ms_[static_cast<size_t>(i)];
+  return layer_hist_[static_cast<size_t>(i)]->last();
+}
+
+telemetry::Snapshot Network::snapshot() const {
+  return metrics_->snapshot("net.");
 }
 
 }  // namespace tincy::nn

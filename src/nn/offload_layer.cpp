@@ -30,6 +30,11 @@ OffloadLayer::OffloadLayer(const OffloadConfig& cfg, Shape input_shape)
     : cfg_(cfg) {
   backend_ = OffloadRegistry::instance().open(cfg.library);
   backend_->init(cfg_, input_shape);  // Fig. 3: init() with configuration
+  auto& registry = telemetry::MetricsRegistry::global();
+  const std::string prefix = "offload." + cfg_.library + ".";
+  forward_hist_ = &registry.histogram(prefix + "forward_ms");
+  frames_counter_ = &registry.counter(prefix + "frames");
+  ops_counter_ = &registry.counter(prefix + "ops");
 }
 
 OffloadLayer::~OffloadLayer() {
@@ -38,7 +43,10 @@ OffloadLayer::~OffloadLayer() {
 
 void OffloadLayer::forward(const Tensor& in, Tensor& out) {
   TINCY_CHECK(out.shape() == cfg_.output_shape);
+  telemetry::ScopedTimer span(*forward_hist_);
   backend_->forward(in, out);
+  frames_counter_->add(1);
+  ops_counter_->add(backend_->ops().ops);
 }
 
 void OffloadLayer::load_weights(WeightReader&) {

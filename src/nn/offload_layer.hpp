@@ -22,6 +22,7 @@
 #include <string>
 
 #include "nn/layer.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tincy::nn {
 
@@ -98,6 +99,11 @@ class OffloadLayer final : public Layer {
  private:
   OffloadConfig cfg_;
   std::unique_ptr<OffloadBackend> backend_;
+  // Cached global-registry metrics, `offload.<library>.*`: backend spans
+  // plus ops/frame counters so fabric vs. CPU work stays attributable.
+  telemetry::Histogram* forward_hist_;
+  telemetry::Counter* frames_counter_;
+  telemetry::Counter* ops_counter_;
 };
 
 }  // namespace tincy::nn

@@ -13,10 +13,10 @@ void CpuBackend::init(const nn::OffloadConfig& cfg, Shape input_shape) {
   cfg_ = cfg;
   input_shape_ = input_shape;
   if (starts_with(cfg.network, "inline:")) {
-    subnet_ =
-        nn::build_network_from_string(inline_network(cfg.network.substr(7)));
+    subnet_ = nn::build_network_from_string(
+        inline_network(cfg.network.substr(7)), &subnet_metrics_);
   } else {
-    subnet_ = nn::build_network_from_file(cfg.network);
+    subnet_ = nn::build_network_from_file(cfg.network, &subnet_metrics_);
   }
   TINCY_CHECK_MSG(subnet_->input_shape() == input_shape,
                   "cpu offload expects input "

@@ -28,6 +28,9 @@ class CpuBackend final : public nn::OffloadBackend {
  private:
   nn::OffloadConfig cfg_;
   Shape input_shape_;
+  /// Private registry: the subnet's internal `net.layer.*` spans must not
+  /// merge into the host network's namespace in the global registry.
+  telemetry::MetricsRegistry subnet_metrics_;
   std::unique_ptr<nn::Network> subnet_;
 };
 

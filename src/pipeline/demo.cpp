@@ -31,15 +31,18 @@ std::vector<Stage> make_demo_stages(nn::Network& net, const DemoConfig& cfg) {
                       f.boxed = data::letterbox(f.image, input_size);
                     }});
 
-  // #2 .. N+1: one stage per network layer, on per-frame buffers.
+  // #2 .. N+1: one stage per network layer, on per-frame buffers. Routing
+  // through run_layer_into (not Layer::forward directly) keeps per-layer
+  // telemetry fresh in pipeline mode — last_layer_ms() used to report the
+  // stale timings of a previous whole-net forward() here.
   for (int64_t i = 0; i < net.num_layers(); ++i) {
-    nn::Layer& layer = net.layer(i);
+    const Shape out_shape = net.layer(i).output_shape();
     const bool first = i == 0;
     stages.push_back(
-        {"L[" + std::to_string(i) + "] " + layer.type_name(),
-         [&layer, first](video::Frame& f) {
-           Tensor out(layer.output_shape());
-           layer.forward(first ? f.boxed : f.features, out);
+        {"L[" + std::to_string(i) + "] " + net.layer(i).type_name(),
+         [&net, i, out_shape, first](video::Frame& f) {
+           Tensor out(out_shape);
+           net.run_layer_into(i, first ? f.boxed : f.features, out);
            f.features = std::move(out);
          }});
   }
@@ -72,11 +75,22 @@ std::vector<Stage> make_demo_stages(nn::Network& net, const DemoConfig& cfg) {
 DemoResult run_demo(video::SyntheticCamera& camera, nn::Network& net,
                     video::OrderCheckingSink& sink, int64_t num_frames,
                     const DemoConfig& cfg) {
-  Pipeline pipeline(
-      make_demo_stages(net, cfg), [&camera] { return camera.read_frame(); },
-      [&sink](const video::Frame& f) { sink.push(f); }, cfg.num_workers);
+  PipelineOptions options;
+  options.stages = make_demo_stages(net, cfg);
+  options.source = [&camera] { return camera.read_frame(); };
+  options.sink = [&sink](const video::Frame& f) { sink.push(f); };
+  options.num_workers = cfg.num_workers;
+  options.metrics = cfg.metrics;
+  Pipeline pipeline(std::move(options));
   pipeline.run(num_frames);
-  return {pipeline.stats(), pipeline.elapsed_seconds(), pipeline.fps()};
+  // The snapshot is the result; the legacy fields are derived from the
+  // same telemetry (no independent timing accumulation).
+  DemoResult result;
+  result.snapshot = pipeline.snapshot();
+  result.stats = pipeline.stats();
+  result.elapsed_seconds = pipeline.elapsed_seconds();
+  result.fps = pipeline.fps();
+  return result;
 }
 
 }  // namespace tincy::pipeline

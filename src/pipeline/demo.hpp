@@ -12,6 +12,7 @@
 
 #include "nn/network.hpp"
 #include "pipeline/pipeline.hpp"
+#include "telemetry/metrics.hpp"
 #include "video/camera.hpp"
 #include "video/sink.hpp"
 
@@ -21,15 +22,27 @@ struct DemoConfig {
   int num_workers = 4;            ///< worker threads (paper: 4 × A53)
   float detect_threshold = 0.3f;  ///< objectness/score threshold
   float nms_iou = 0.45f;          ///< NMS overlap threshold
+  /// Registry the pipeline reports into; null selects the process-wide
+  /// default. The network keeps reporting into its own registry (set at
+  /// construction) — pass the same one for a unified snapshot.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Builds the Fig. 5 stage list around `net`. The network must end in a
 /// region layer; each layer becomes one stage operating on per-frame
-/// buffers so concurrent frames never share activation storage.
+/// buffers so concurrent frames never share activation storage. Layer
+/// stages run through Network::run_layer_into, so per-layer telemetry
+/// (`net.layer.<i>.<type>.ms`) stays fresh in pipeline mode.
 std::vector<Stage> make_demo_stages(nn::Network& net, const DemoConfig& cfg);
 
-/// Outcome of a demo run.
+/// Outcome of a demo run: the telemetry snapshot is the primary result;
+/// the remaining fields are adapters derived from it for older callers.
 struct DemoResult {
+  /// Unified sample of the run: `pipeline.stage.*` busy/wait/jobs,
+  /// `pipeline.frame_latency_ms`, `net.layer.*.ms`, `pipeline.fps`, ...
+  telemetry::Snapshot snapshot;
+
+  /// \deprecated Derived from `snapshot`; prefer the snapshot itself.
   std::vector<StageStats> stats;
   double elapsed_seconds = 0.0;
   double fps = 0.0;

@@ -1,7 +1,7 @@
 #include "pipeline/pipeline.hpp"
 
-#include <chrono>
 #include <algorithm>
+#include <chrono>
 
 #include "core/errors.hpp"
 
@@ -11,23 +11,62 @@
 
 namespace tincy::pipeline {
 
+namespace {
+
+/// Stage names become metric-name components; spaces would make the
+/// flat names awkward to grep, so they are replaced.
+std::string metric_label(const std::string& stage_name) {
+  std::string out = stage_name;
+  std::replace(out.begin(), out.end(), ' ', '_');
+  return out;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  TINCY_CHECK_MSG(!options_.stages.empty(),
+                  "pipeline needs at least one stage");
+  TINCY_CHECK_MSG(options_.num_workers >= 1,
+                  "num_workers " << options_.num_workers);
+  TINCY_CHECK(options_.source != nullptr && options_.sink != nullptr);
+  metrics_ = options_.metrics ? options_.metrics
+                              : &telemetry::MetricsRegistry::global();
+
+  stage_metrics_.reserve(options_.stages.size());
+  for (const auto& stage : options_.stages) {
+    const std::string prefix =
+        "pipeline.stage." + metric_label(stage.name) + ".";
+    stage_metrics_.push_back({&metrics_->histogram(prefix + "busy_ms"),
+                              &metrics_->histogram(prefix + "wait_ms"),
+                              &metrics_->counter(prefix + "jobs"),
+                              &metrics_->gauge(prefix + "queue_depth")});
+  }
+  frame_latency_hist_ = &metrics_->histogram("pipeline.frame_latency_ms");
+  idle_ms_gauge_ = &metrics_->gauge("pipeline.workers.idle_ms");
+  frames_counter_ = &metrics_->counter("pipeline.frames");
+  elapsed_ms_gauge_ = &metrics_->gauge("pipeline.elapsed_ms");
+  fps_gauge_ = &metrics_->gauge("pipeline.fps");
+}
+
 Pipeline::Pipeline(std::vector<Stage> stages,
                    std::function<video::Frame()> source,
                    std::function<void(const video::Frame&)> sink,
                    int num_workers)
-    : stages_(std::move(stages)),
-      source_(std::move(source)),
-      sink_(std::move(sink)),
-      num_workers_(num_workers) {
-  TINCY_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
-  TINCY_CHECK_MSG(num_workers_ >= 1, "num_workers " << num_workers_);
-  TINCY_CHECK(source_ != nullptr && sink_ != nullptr);
-}
+    : Pipeline(PipelineOptions{std::move(stages), std::move(source),
+                               std::move(sink), num_workers,
+                               /*pin_threads=*/true, /*collect_latency=*/true,
+                               /*metrics=*/nullptr}) {}
 
 int64_t Pipeline::pick_job_locked() const {
   // "The most mature one whose output buffer is free and whose input
   // buffer has data pending" — scan from the back of the pipeline.
-  for (int64_t i = static_cast<int64_t>(stages_.size()) - 1; i >= 0; --i) {
+  const auto& stages = options_.stages;
+  for (int64_t i = static_cast<int64_t>(stages.size()) - 1; i >= 0; --i) {
     const Slot& out = slots_[static_cast<size_t>(i)];
     if (out.reserved || out.frame.has_value()) continue;  // output not free
     if (i == 0) {
@@ -43,11 +82,13 @@ void Pipeline::worker_loop(int worker_index) {
 #ifdef __linux__
   // "One worker thread is allocated for each available core and tied to
   // it" — best-effort pinning on the host.
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
-  CPU_SET(static_cast<unsigned>(worker_index) % ncpu, &set);
-  pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+  if (options_.pin_threads) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    CPU_SET(static_cast<unsigned>(worker_index) % ncpu, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+  }
 #else
   (void)worker_index;
 #endif
@@ -55,50 +96,58 @@ void Pipeline::worker_loop(int worker_index) {
   std::unique_lock lock(mutex_);
   while (true) {
     int64_t job = -1;
+    const auto idle0 = std::chrono::steady_clock::now();
     cv_.wait(lock, [&] {
       job = pick_job_locked();
       return stopping_ || frames_sunk_ == frames_total_ || job >= 0;
     });
+    idle_ms_gauge_->add(ms_between(idle0, std::chrono::steady_clock::now()));
     if (stopping_ || frames_sunk_ == frames_total_) return;
 
     // Claim the job: reserve the output slot and take the input frame.
+    StageMetrics& sm = stage_metrics_[static_cast<size_t>(job)];
     Slot& out = slots_[static_cast<size_t>(job)];
     out.reserved = true;
     video::Frame frame;
     if (job == 0) {
       ++frames_pulled_;
+      sm.wait_ms->record(0.0);  // the source is always available
     } else {
       Slot& in = slots_[static_cast<size_t>(job - 1)];
       frame = std::move(*in.frame);
       in.frame.reset();  // input buffer becomes free (Fig. 6)
+      sm.wait_ms->record(
+          ms_between(in.deposited, std::chrono::steady_clock::now()));
     }
     lock.unlock();
     cv_.notify_all();  // freeing the input slot may enable upstream work
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (job == 0) frame = source_();  // serialized: slot 0 is reserved
-    stages_[static_cast<size_t>(job)].work(frame);
-    const bool is_last = job == static_cast<int64_t>(stages_.size()) - 1;
-    if (is_last) sink_(frame);  // "the video sink is always free"
+    if (job == 0) frame = options_.source();  // serialized: slot 0 reserved
+    options_.stages[static_cast<size_t>(job)].work(frame);
+    const bool is_last =
+        job == static_cast<int64_t>(options_.stages.size()) - 1;
+    if (is_last) options_.sink(frame);  // "the video sink is always free"
     const auto t1 = std::chrono::steady_clock::now();
+    sm.busy_ms->record(ms_between(t0, t1));
+    sm.jobs->add(1);
 
     lock.lock();
-    auto& st = stats_[static_cast<size_t>(job)];
-    ++st.jobs;
-    st.busy_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
     out.reserved = false;
-    if (job == 0) frame_start_[frame.sequence] = t0;
+    if (job == 0 && options_.collect_latency)
+      frame_start_[frame.sequence] = t0;
     if (is_last) {
       ++frames_sunk_;
-      const auto it = frame_start_.find(frame.sequence);
-      if (it != frame_start_.end()) {
-        frame_latency_ms_.push_back(
-            std::chrono::duration<double, std::milli>(t1 - it->second)
-                .count());
-        frame_start_.erase(it);
+      if (options_.collect_latency) {
+        const auto it = frame_start_.find(frame.sequence);
+        if (it != frame_start_.end()) {
+          frame_latency_hist_->record(ms_between(it->second, t1));
+          frame_start_.erase(it);
+        }
       }
     } else {
       out.frame = std::move(frame);  // stays pending until consumed
+      out.deposited = t1;
     }
     lock.unlock();
     cv_.notify_all();
@@ -110,45 +159,72 @@ void Pipeline::run(int64_t num_frames) {
   TINCY_CHECK_MSG(num_frames >= 1, "num_frames " << num_frames);
   {
     std::lock_guard lock(mutex_);
-    slots_.assign(stages_.size(), Slot{});
+    slots_.assign(options_.stages.size(), Slot{});
     frames_to_pull_ = num_frames;
     frames_pulled_ = 0;
     frames_sunk_ = 0;
     frames_total_ = num_frames;
     stopping_ = false;
-    stats_.clear();
-    for (const auto& s : stages_) stats_.push_back({s.name, 0, 0.0});
+    // Reset only this pipeline's own metric objects, so the registry
+    // reflects the last run without clobbering unrelated metrics.
+    for (auto& sm : stage_metrics_) {
+      sm.busy_ms->reset();
+      sm.wait_ms->reset();
+      sm.jobs->reset();
+      sm.queue_depth->reset();
+    }
+    frame_latency_hist_->reset();
+    idle_ms_gauge_->reset();
+    frames_counter_->reset();
+    elapsed_ms_gauge_->reset();
+    fps_gauge_->reset();
     frame_start_.clear();
-    frame_latency_ms_.clear();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_workers_));
-  for (int w = 0; w < num_workers_; ++w)
+  workers.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w)
     workers.emplace_back([this, w] { worker_loop(w); });
   for (auto& t : workers) t.join();
   const auto t1 = std::chrono::steady_clock::now();
-  elapsed_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+
+  const double elapsed_ms = ms_between(t0, t1);
+  elapsed_ms_gauge_->set(elapsed_ms);
+  frames_counter_->add(num_frames);
+  fps_gauge_->set(elapsed_ms > 0.0
+                      ? 1000.0 * static_cast<double>(num_frames) / elapsed_ms
+                      : 0.0);
+  // Mean pending frames at each stage input over the run (Little's law).
+  for (auto& sm : stage_metrics_)
+    sm.queue_depth->set(elapsed_ms > 0.0 ? sm.wait_ms->sum() / elapsed_ms
+                                         : 0.0);
 }
 
-double Pipeline::fps() const {
-  return elapsed_seconds_ > 0.0
-             ? static_cast<double>(frames_total_) / elapsed_seconds_
-             : 0.0;
+telemetry::Snapshot Pipeline::snapshot() const { return metrics_->snapshot(); }
+
+std::vector<StageStats> Pipeline::stats() const {
+  std::vector<StageStats> out;
+  out.reserve(options_.stages.size());
+  for (size_t i = 0; i < options_.stages.size(); ++i)
+    out.push_back({options_.stages[i].name, stage_metrics_[i].jobs->value(),
+                   stage_metrics_[i].busy_ms->sum()});
+  return out;
 }
+
+double Pipeline::elapsed_seconds() const {
+  return elapsed_ms_gauge_->value() / 1000.0;
+}
+
+double Pipeline::fps() const { return fps_gauge_->value(); }
 
 double Pipeline::mean_latency_ms() const {
-  if (frame_latency_ms_.empty()) return 0.0;
-  double sum = 0.0;
-  for (const double v : frame_latency_ms_) sum += v;
-  return sum / static_cast<double>(frame_latency_ms_.size());
+  const auto s = frame_latency_hist_->stats();
+  return s.mean();
 }
 
 double Pipeline::max_latency_ms() const {
-  double mx = 0.0;
-  for (const double v : frame_latency_ms_) mx = std::max(mx, v);
-  return mx;
+  return frame_latency_hist_->stats().max;
 }
 
 }  // namespace tincy::pipeline

@@ -16,6 +16,17 @@
 ///    correct video sequence;
 ///  * one worker thread per available core, pinned to it (pinning is
 ///    best-effort on the host).
+///
+/// Execution statistics are reported through the telemetry registry
+/// (metric namespace `pipeline.`); see docs/observability.md. Per run():
+///  * pipeline.stage.<name>.busy_ms   histogram, one span per job
+///  * pipeline.stage.<name>.wait_ms   histogram, input-slot dwell per job
+///  * pipeline.stage.<name>.jobs     counter == frames processed
+///  * pipeline.stage.<name>.queue_depth  gauge, mean pending frames
+///    at the stage input (Little's law: Σ wait / elapsed)
+///  * pipeline.frame_latency_ms      histogram, source pull -> sink
+///  * pipeline.workers.idle_ms       gauge, summed scheduler wait
+///  * pipeline.frames / pipeline.elapsed_ms / pipeline.fps
 
 #include <chrono>
 #include <condition_variable>
@@ -27,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
 #include "video/frame.hpp"
 
 namespace tincy::pipeline {
@@ -38,55 +50,93 @@ struct Stage {
 };
 
 /// Per-stage execution statistics.
+/// \deprecated Adapter view derived from the telemetry snapshot; prefer
+/// Pipeline::snapshot().
 struct StageStats {
   std::string name;
   int64_t jobs = 0;
   double busy_ms = 0.0;  ///< summed wall-clock time inside work()
 };
 
+/// Everything a Pipeline needs, replacing the former four positional
+/// constructor arguments.
+struct PipelineOptions {
+  std::vector<Stage> stages;
+  /// Pulls the next raw frame (stage #0's input); invoked serially.
+  std::function<video::Frame()> source;
+  /// Consumes finished frames; serialized by the final stage order.
+  std::function<void(const video::Frame&)> sink;
+  int num_workers = 4;       ///< worker threads (paper: 4 × A53)
+  bool pin_threads = true;   ///< best-effort core pinning (Linux)
+  bool collect_latency = true;  ///< per-frame source->sink latency spans
+  /// Registry to report into; null selects the process-wide default.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
 class Pipeline {
  public:
-  /// `source` pulls the next raw frame (stage #0's input); it is invoked
-  /// serially. `sink` consumes finished frames; it must be thread-safe or
-  /// effectively serialized by the final stage order (it is: the last
-  /// stage is serialized like every stage).
+  explicit Pipeline(PipelineOptions options);
+
+  /// \deprecated Positional-argument shim; delegates to the
+  /// PipelineOptions constructor.
   Pipeline(std::vector<Stage> stages,
            std::function<video::Frame()> source,
            std::function<void(const video::Frame&)> sink, int num_workers);
 
   /// Processes exactly `num_frames` frames end to end; blocks until the
-  /// sink has consumed the last one, then joins the workers.
+  /// sink has consumed the last one, then joins the workers. Resets this
+  /// pipeline's metrics first, so the registry reflects the last run.
   void run(int64_t num_frames);
 
+  /// Consistent sample of the metrics registry after the last run():
+  /// `pipeline.*` plus whatever the stages recorded (e.g. `net.layer.*`
+  /// when the stages run network layers).
+  telemetry::Snapshot snapshot() const;
+
   /// Statistics of the last run().
-  const std::vector<StageStats>& stats() const { return stats_; }
+  /// \deprecated Adapter deriving StageStats from the telemetry
+  /// snapshot; prefer snapshot().
+  std::vector<StageStats> stats() const;
 
-  /// Wall-clock seconds of the last run().
-  double elapsed_seconds() const { return elapsed_seconds_; }
+  /// Wall-clock seconds of the last run(). Adapter over
+  /// `pipeline.elapsed_ms`.
+  double elapsed_seconds() const;
 
-  /// Frames per second achieved by the last run().
+  /// Frames per second achieved by the last run(). Adapter over
+  /// `pipeline.fps`.
   double fps() const;
 
-  /// Per-frame latency (source pull to sink delivery) of the last run().
+  /// Per-frame latency (source pull to sink delivery) of the last run();
+  /// adapters over the `pipeline.frame_latency_ms` histogram.
   double mean_latency_ms() const;
   double max_latency_ms() const;
 
-  int num_workers() const { return num_workers_; }
+  int num_workers() const { return options_.num_workers; }
+
+  /// The registry this pipeline reports into.
+  telemetry::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct Slot {
     std::optional<video::Frame> frame;  ///< engaged == "avail" (Fig. 6)
     bool reserved = false;              ///< a job is producing into it
+    std::chrono::steady_clock::time_point deposited;  ///< frame arrival
+  };
+
+  /// Telemetry handles of one stage, resolved once at construction.
+  struct StageMetrics {
+    telemetry::Histogram* busy_ms;
+    telemetry::Histogram* wait_ms;
+    telemetry::Counter* jobs;
+    telemetry::Gauge* queue_depth;
   };
 
   /// Index of the most mature runnable stage, or -1.
   int64_t pick_job_locked() const;
   void worker_loop(int worker_index);
 
-  std::vector<Stage> stages_;
-  std::function<video::Frame()> source_;
-  std::function<void(const video::Frame&)> sink_;
-  int num_workers_;
+  PipelineOptions options_;
+  telemetry::MetricsRegistry* metrics_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -97,11 +147,14 @@ class Pipeline {
   int64_t frames_total_ = 0;
   bool stopping_ = false;
 
-  std::vector<StageStats> stats_;
-  double elapsed_seconds_ = 0.0;
+  std::vector<StageMetrics> stage_metrics_;
+  telemetry::Histogram* frame_latency_hist_;
+  telemetry::Gauge* idle_ms_gauge_;
+  telemetry::Counter* frames_counter_;
+  telemetry::Gauge* elapsed_ms_gauge_;
+  telemetry::Gauge* fps_gauge_;
   std::unordered_map<int64_t, std::chrono::steady_clock::time_point>
       frame_start_;                      ///< sequence -> source pull time
-  std::vector<double> frame_latency_ms_;
 };
 
 }  // namespace tincy::pipeline

@@ -1,0 +1,289 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/errors.hpp"
+
+namespace tincy::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"tincy.telemetry.v1\",\n";
+
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snapshot.counters[i].name);
+    out += ": " + std::to_string(snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snapshot.gauges[i].name);
+    out += ": " + format_double(snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.stats.count);
+    out += ", \"sum\": " + format_double(h.stats.sum);
+    out += ", \"min\": " + format_double(h.stats.min);
+    out += ", \"max\": " + format_double(h.stats.max);
+    out += ", \"last\": " + format_double(h.stats.last);
+    out += ", \"p50\": " + format_double(h.stats.p50);
+    out += ", \"p95\": " + format_double(h.stats.p95);
+    out += "}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+
+  out += "}\n";
+  return out;
+}
+
+void write_json(const Snapshot& snapshot, const std::string& path) {
+  std::ofstream f(path);
+  TINCY_CHECK_MSG(f.good(), "cannot open '" << path << "' for writing");
+  f << to_json(snapshot);
+  f.flush();
+  TINCY_CHECK_MSG(f.good(), "write to '" << path << "' failed");
+}
+
+namespace {
+
+/// Recursive-descent parser for the JSON subset to_json emits: objects
+/// with string keys whose values are numbers, strings or nested objects.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Snapshot parse() {
+    Snapshot s;
+    expect('{');
+    bool saw_schema = false;
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "schema") {
+        const std::string v = parse_string();
+        TINCY_CHECK_MSG(v == "tincy.telemetry.v1",
+                        "unsupported telemetry schema '" << v << "'");
+        saw_schema = true;
+      } else if (key == "counters") {
+        parse_flat_object([&](const std::string& name, double v) {
+          s.counters.push_back({name, static_cast<int64_t>(v)});
+        });
+      } else if (key == "gauges") {
+        parse_flat_object([&](const std::string& name, double v) {
+          s.gauges.push_back({name, v});
+        });
+      } else if (key == "histograms") {
+        parse_histograms(s);
+      } else {
+        fail("unexpected key '" + key + "'");
+      }
+    }
+    expect('}');
+    skip_ws();
+    TINCY_CHECK_MSG(pos_ == text_.size(), "trailing content after document");
+    TINCY_CHECK_MSG(saw_schema, "missing schema marker");
+    return s;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("telemetry JSON parse error at offset " +
+                std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("short \\u escape");
+            c = static_cast<char>(
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::string_view("+-.eEinfa").find(text_[pos_]) !=
+                std::string_view::npos))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    char* end = nullptr;
+    const std::string tok = text_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str()) fail("bad number '" + tok + "'");
+    return v;
+  }
+
+  template <typename Fn>
+  void parse_flat_object(Fn&& on_entry) {
+    expect('{');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      const std::string name = parse_string();
+      expect(':');
+      on_entry(name, parse_number());
+    }
+    expect('}');
+  }
+
+  void parse_histograms(Snapshot& s) {
+    expect('{');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      HistogramSample h;
+      h.name = parse_string();
+      expect(':');
+      parse_flat_object([&](const std::string& field, double v) {
+        if (field == "count") h.stats.count = static_cast<int64_t>(v);
+        else if (field == "sum") h.stats.sum = v;
+        else if (field == "min") h.stats.min = v;
+        else if (field == "max") h.stats.max = v;
+        else if (field == "last") h.stats.last = v;
+        else if (field == "p50") h.stats.p50 = v;
+        else if (field == "p95") h.stats.p95 = v;
+        else fail("unknown histogram field '" + field + "'");
+      });
+      s.histograms.push_back(std::move(h));
+    }
+    expect('}');
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Snapshot parse_snapshot(const std::string& json) {
+  return Parser(json).parse();
+}
+
+std::string summary_table(const Snapshot& snapshot) {
+  std::ostringstream os;
+  char line[256];
+  if (!snapshot.histograms.empty()) {
+    std::snprintf(line, sizeof line, "%-40s %8s %10s %10s %10s %10s\n",
+                  "histogram", "count", "mean", "p50", "p95", "max");
+    os << line;
+    for (const auto& h : snapshot.histograms) {
+      std::snprintf(line, sizeof line,
+                    "%-40s %8" PRId64 " %10.3f %10.3f %10.3f %10.3f\n",
+                    h.name.c_str(), h.stats.count, h.stats.mean(),
+                    h.stats.p50, h.stats.p95, h.stats.max);
+      os << line;
+    }
+  }
+  if (!snapshot.counters.empty()) {
+    std::snprintf(line, sizeof line, "%-40s %12s\n", "counter", "value");
+    os << line;
+    for (const auto& c : snapshot.counters) {
+      std::snprintf(line, sizeof line, "%-40s %12" PRId64 "\n",
+                    c.name.c_str(), c.value);
+      os << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    std::snprintf(line, sizeof line, "%-40s %12s\n", "gauge", "value");
+    os << line;
+    for (const auto& g : snapshot.gauges) {
+      std::snprintf(line, sizeof line, "%-40s %12.3f\n", g.name.c_str(),
+                    g.value);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tincy::telemetry

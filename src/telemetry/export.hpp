@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file export.hpp
+/// Snapshot serialization: a stable JSON document (schema
+/// "tincy.telemetry.v1"), a plain-text summary table for terminals, and a
+/// parser for the emitted subset of JSON so exports round-trip (used by
+/// tests and by tools/check_metrics).
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace tincy::telemetry {
+
+/// Serializes a snapshot:
+/// {
+///   "schema": "tincy.telemetry.v1",
+///   "counters":   {"<name>": <int>, ...},
+///   "gauges":     {"<name>": <double>, ...},
+///   "histograms": {"<name>": {"count": n, "sum": s, "min": m, "max": M,
+///                             "last": l, "p50": a, "p95": b}, ...}
+/// }
+std::string to_json(const Snapshot& snapshot);
+
+/// Writes to_json() to `path`; throws tincy::Error on I/O failure.
+void write_json(const Snapshot& snapshot, const std::string& path);
+
+/// Inverse of to_json for the schema above; throws tincy::Error on
+/// malformed input or a wrong/missing schema marker.
+Snapshot parse_snapshot(const std::string& json);
+
+/// Human-readable rendering: one table per metric kind, name-sorted —
+/// the Table-III-style per-stage latency view.
+std::string summary_table(const Snapshot& snapshot);
+
+}  // namespace tincy::telemetry

@@ -1,0 +1,204 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tincy::telemetry {
+
+namespace {
+
+/// Smallest covered value in ms (1 µs); buckets grow by 2^(1/4) per step,
+/// so kNumBuckets = 112 steps span 2^28 ≈ 2.7e8× — up to ~4.5 minutes.
+constexpr double kBase = 1e-3;
+constexpr double kStepsPerOctave = 4.0;
+
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > kBase)) return 0;  // also catches NaN and negatives
+  const int idx =
+      1 + static_cast<int>(kStepsPerOctave * std::log2(value / kBase));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void Histogram::record(double value) {
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  last_ = value;
+  ++buckets_[bucket_index(value)];
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based (nearest-rank method).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Geometric midpoint of the bucket, clamped to the observed range.
+      const double lo = i == 0 ? min_
+                               : kBase * std::exp2(static_cast<double>(i - 1) /
+                                                   kStepsPerOctave);
+      const double hi =
+          kBase * std::exp2(static_cast<double>(i) / kStepsPerOctave);
+      const double mid = i == 0 ? lo : std::sqrt(lo * hi);
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+HistogramStats Histogram::stats() const {
+  std::lock_guard lock(mutex_);
+  HistogramStats s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.last = last_;
+  s.p50 = quantile_locked(0.5);
+  s.p95 = quantile_locked(0.95);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  count_ = 0;
+  sum_ = min_ = max_ = last_ = 0.0;
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+double Histogram::last() const {
+  std::lock_guard lock(mutex_);
+  return last_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  return quantile_locked(q);
+}
+
+const CounterSample* Snapshot::find_counter(std::string_view name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSample* Snapshot::find_gauge(std::string_view name) const {
+  for (const auto& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+int64_t Snapshot::counter_value(std::string_view name) const {
+  const auto* c = find_counter(name);
+  return c ? c->value : 0;
+}
+
+double Snapshot::gauge_value(std::string_view name) const {
+  const auto* g = find_gauge(name);
+  return g ? g->value : 0.0;
+}
+
+std::vector<const HistogramSample*> Snapshot::histograms_with_prefix(
+    std::string_view prefix) const {
+  std::vector<const HistogramSample*> out;
+  for (const auto& h : histograms)
+    if (std::string_view(h.name).substr(0, prefix.size()) == prefix)
+      out.push_back(&h);
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+bool has_prefix(const std::string& name, std::string_view prefix) {
+  return std::string_view(name).substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+Snapshot MetricsRegistry::snapshot(std::string_view prefix) const {
+  std::lock_guard lock(mutex_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_)
+    if (has_prefix(name, prefix)) s.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_)
+    if (has_prefix(name, prefix)) s.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_)
+    if (has_prefix(name, prefix)) s.histograms.push_back({name, h->stats()});
+  return s;  // std::map iteration order keeps each section name-sorted
+}
+
+void MetricsRegistry::reset(std::string_view prefix) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_)
+    if (has_prefix(name, prefix)) c->reset();
+  for (const auto& [name, g] : gauges_)
+    if (has_prefix(name, prefix)) g->reset();
+  for (const auto& [name, h] : histograms_)
+    if (has_prefix(name, prefix)) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+double ScopedTimer::stop() {
+  if (hist_ == nullptr) return 0.0;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  hist_->record(ms);
+  hist_ = nullptr;
+  return ms;
+}
+
+}  // namespace tincy::telemetry

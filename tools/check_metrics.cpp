@@ -1,0 +1,117 @@
+// Schema checker for `tincy --metrics-json` output (the tier2-metrics
+// CTest label). Validates that the document parses as telemetry schema
+// v1 and contains the observability surface the demo pipeline promises:
+// per-layer latency histograms, per-stage busy/wait metrics, and — with
+// --frames N — stage span counts equal to the frames processed.
+//
+// Usage: tincy_check_metrics <metrics.json> [--frames N]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/errors.hpp"
+#include "telemetry/export.hpp"
+
+using namespace tincy;
+
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "metrics check FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: tincy_check_metrics <metrics.json> [--frames N]\n");
+    return 2;
+  }
+  int64_t expect_frames = -1;
+  for (int i = 2; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--frames") == 0)
+      expect_frames = std::atoll(argv[i + 1]);
+
+  std::ifstream f(argv[1]);
+  if (!f.good()) return fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  telemetry::Snapshot snapshot;
+  try {
+    snapshot = telemetry::parse_snapshot(buf.str());
+  } catch (const Error& e) {
+    return fail(e.what());
+  }
+
+  // Internal consistency of every histogram.
+  for (const auto& h : snapshot.histograms) {
+    const auto& s = h.stats;
+    if (s.count < 0) return fail(h.name + ": negative count");
+    if (s.count > 0) {
+      if (s.min > s.max) return fail(h.name + ": min > max");
+      if (s.p50 < s.min || s.p50 > s.max)
+        return fail(h.name + ": p50 outside [min, max]");
+      if (s.p95 < s.p50 - 1e-9) return fail(h.name + ": p95 < p50");
+      if (s.p95 > s.max + 1e-9) return fail(h.name + ": p95 > max");
+      if (s.sum + 1e-9 < s.max) return fail(h.name + ": sum < max");
+    }
+  }
+
+  // Per-layer latency histograms from the disintegrated forward pass.
+  int64_t layers = 0;
+  for (const auto* h : snapshot.histograms_with_prefix("net.layer.")) {
+    if (h->stats.count <= 0) return fail(h->name + ": empty layer histogram");
+    ++layers;
+  }
+  if (layers == 0) return fail("no net.layer.* histograms");
+
+  // Per-stage pipeline busy/wait spans.
+  int64_t busy = 0, wait = 0;
+  for (const auto* h : snapshot.histograms_with_prefix("pipeline.stage.")) {
+    if (ends_with(h->name, ".busy_ms")) ++busy;
+    if (ends_with(h->name, ".wait_ms")) ++wait;
+    if (expect_frames >= 0 && h->stats.count != expect_frames)
+      return fail(h->name + ": " + std::to_string(h->stats.count) +
+                  " spans, expected " + std::to_string(expect_frames));
+  }
+  if (busy == 0) return fail("no pipeline.stage.*.busy_ms histograms");
+  if (wait == 0) return fail("no pipeline.stage.*.wait_ms histograms");
+  if (busy != wait)
+    return fail("busy_ms / wait_ms stage counts differ");
+
+  // Stage job counters must equal the frames processed.
+  int64_t job_counters = 0;
+  for (const auto& c : snapshot.counters) {
+    const bool is_jobs =
+        c.name.rfind("pipeline.stage.", 0) == 0 && ends_with(c.name, ".jobs");
+    if (!is_jobs) continue;
+    ++job_counters;
+    if (expect_frames >= 0 && c.value != expect_frames)
+      return fail(c.name + ": " + std::to_string(c.value) +
+                  " jobs, expected " + std::to_string(expect_frames));
+  }
+  if (job_counters != busy)
+    return fail("jobs counters do not match stage histograms");
+  if (expect_frames >= 0 &&
+      snapshot.counter_value("pipeline.frames") != expect_frames)
+    return fail("pipeline.frames != expected frame count");
+
+  std::printf(
+      "metrics OK: %lld layer histogram(s), %lld pipeline stage(s)%s\n",
+      static_cast<long long>(layers), static_cast<long long>(busy),
+      expect_frames >= 0 ? (", " + std::to_string(expect_frames) +
+                            " spans per stage")
+                               .c_str()
+                         : "");
+  return 0;
+}

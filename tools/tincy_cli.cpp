@@ -10,12 +10,20 @@
 //                                               fabric parameter export
 //   tincy ladder                                the Sec. III speedup ladder
 //
+// Global flags (any subcommand):
+//   --metrics-json <path>   write the telemetry snapshot as JSON on exit
+//   --metrics-summary       print the telemetry summary table to stderr
+//
 // cfg arguments accept either a file path or one of the zoo shorthands
 // `zoo:tiny`, `zoo:tincy`, `zoo:tincy-w1a3`, `zoo:mlp4`, `zoo:cnv6`.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "core/rng.hpp"
 #include "core/string_utils.hpp"
@@ -174,23 +182,65 @@ int usage() {
       "  tincy demo [frames] [workers]\n"
       "  tincy export-binparam <cfg|zoo:...> <weights|-> <dir>\n"
       "  tincy ladder\n"
+      "global flags: --metrics-json <path>  --metrics-summary\n"
       "zoo shorthands: zoo:tiny zoo:tincy zoo:tincy-w1a3 zoo:mlp4 zoo:cnv6\n");
   return 2;
+}
+
+/// Emits the collected telemetry as requested by the global flags; runs
+/// after the subcommand so every recorded span is included.
+int emit_metrics(const std::string& json_path, bool print_summary, int rc) {
+  if (json_path.empty() && !print_summary) return rc;
+  const auto snapshot = telemetry::MetricsRegistry::global().snapshot();
+  if (print_summary)
+    std::fputs(telemetry::summary_table(snapshot).c_str(), stderr);
+  if (!json_path.empty()) {
+    try {
+      telemetry::write_json(snapshot, json_path);
+      std::fprintf(stderr, "wrote metrics to %s\n", json_path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip the global telemetry flags so subcommands see only their own
+  // positional arguments.
+  std::string metrics_json;
+  bool metrics_summary = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-json requires a <path>\n");
+        return 2;
+      }
+      metrics_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+      metrics_summary = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+
+  if (nargs < 2) return usage();
+  const std::string cmd = args[1];
   try {
-    if (cmd == "summary" && argc >= 3) return cmd_summary(argv[2]);
-    if (cmd == "ops" && argc >= 3) return cmd_ops(argv[2]);
-    if (cmd == "detect") return cmd_detect(argc - 2, argv + 2);
-    if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
-    if (cmd == "export-binparam")
-      return cmd_export_binparam(argc - 2, argv + 2);
-    if (cmd == "ladder") return cmd_ladder();
+    int rc = -1;
+    if (cmd == "summary" && nargs >= 3) rc = cmd_summary(args[2]);
+    else if (cmd == "ops" && nargs >= 3) rc = cmd_ops(args[2]);
+    else if (cmd == "detect") rc = cmd_detect(nargs - 2, args.data() + 2);
+    else if (cmd == "demo") rc = cmd_demo(nargs - 2, args.data() + 2);
+    else if (cmd == "export-binparam")
+      rc = cmd_export_binparam(nargs - 2, args.data() + 2);
+    else if (cmd == "ladder") rc = cmd_ladder();
+    if (rc >= 0) return emit_metrics(metrics_json, metrics_summary, rc);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
