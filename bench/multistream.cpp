@@ -1,0 +1,117 @@
+// Multi-stream serving throughput over the shared fabric engine.
+//
+// Sweeps 1..8 concurrent streams through a StreamServer whose sessions
+// model the paper's deployment timing: two CPU-bound stages around one
+// engine-bound stage. Stage "work" is a timed sleep, so the sweep
+// measures the *scheduler* — single-slot stage serialization within a
+// stream, engine exclusivity across streams — independently of host core
+// count (the CI host may have a single core).
+//
+// Expectation: a single stream is gated by its slowest stage (the
+// single-slot buffers forbid two frames inside one stage), so N streams
+// scale aggregate throughput nearly linearly while the arbiter keeps the
+// engine granted to one session at a time — until the engine itself
+// saturates. The acceptance gate (tier2-serve) is aggregate throughput
+// at 4 streams >= 2x the single-stream throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "video/frame.hpp"
+
+using namespace tincy;
+
+namespace {
+
+constexpr double kCpuStageMs = 4.0;
+constexpr double kEngineStageMs = 1.0;
+constexpr int64_t kFramesPerStream = 48;
+
+serve::ServeStage sleep_stage(const std::string& name, double ms,
+                              bool engine) {
+  const auto dur = std::chrono::duration<double, std::milli>(ms);
+  return {name, [dur](video::Frame&) { std::this_thread::sleep_for(dur); },
+          engine};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("multi-stream serving sweep (%.0f ms CPU stages, %.0f ms "
+              "engine stage, %lld frames/stream)\n",
+              kCpuStageMs, kEngineStageMs,
+              static_cast<long long>(kFramesPerStream));
+  std::printf("%8s %12s %14s %10s %14s\n", "streams", "agg fps",
+              "fps/stream", "speedup", "engine grants");
+
+  double single_fps = 0.0;
+  double four_fps = 0.0;
+  for (const int streams : {1, 2, 4, 8}) {
+    telemetry::MetricsRegistry registry;
+    serve::ServerOptions opts;
+    opts.num_workers = 3 * streams;
+    opts.metrics = &registry;
+    serve::StreamServer server(opts);
+    for (int i = 0; i < streams; ++i) {
+      serve::SessionConfig sc;
+      sc.stages = {sleep_stage("pre", kCpuStageMs, false),
+                   sleep_stage("engine", kEngineStageMs, true),
+                   sleep_stage("post", kCpuStageMs, false)};
+      sc.queue_capacity = 4;
+      server.open_session(std::move(sc));
+    }
+    server.start();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<int64_t> sent(static_cast<size_t>(streams), 0);
+    int64_t remaining = static_cast<int64_t>(streams) * kFramesPerStream;
+    int64_t seq = 0;
+    while (remaining > 0) {
+      bool progressed = false;
+      for (int i = 0; i < streams; ++i) {
+        const auto ui = static_cast<size_t>(i);
+        if (sent[ui] == kFramesPerStream) continue;
+        video::Frame f;
+        f.sequence = seq;
+        if (server.submit(i, std::move(f)) ==
+            serve::ServeResult::kAccepted) {
+          ++seq;
+          ++sent[ui];
+          --remaining;
+          progressed = true;
+        }
+      }
+      if (!progressed)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    server.drain();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.stop();
+
+    const double total =
+        static_cast<double>(streams) * static_cast<double>(kFramesPerStream);
+    const double fps = elapsed_s > 0.0 ? total / elapsed_s : 0.0;
+    if (streams == 1) single_fps = fps;
+    if (streams == 4) four_fps = fps;
+    std::printf("%8d %12.1f %14.1f %9.2fx %14lld\n", streams, fps,
+                fps / streams, single_fps > 0.0 ? fps / single_fps : 0.0,
+                static_cast<long long>(server.arbiter().grants()));
+  }
+
+  const double scaling = single_fps > 0.0 ? four_fps / single_fps : 0.0;
+  std::printf("4-stream aggregate speedup: %.2fx (gate: >= 2x)\n", scaling);
+  if (scaling < 2.0) {
+    std::fprintf(stderr,
+                 "FAILED: 4-stream aggregate %.1f fps < 2x single-stream "
+                 "%.1f fps\n",
+                 four_fps, single_fps);
+    return 1;
+  }
+  return 0;
+}

@@ -71,16 +71,15 @@ LayerPtr make_region(const Section& s, Shape in_shape) {
 
 LayerPtr make_offload(const Section& s, Shape in_shape) {
   OffloadConfig cfg;
-  cfg.library = s.get_string("library", "");
-  TINCY_CHECK_MSG(!cfg.library.empty(),
-                  "[offload] section line " << s.line << " needs library=");
+  cfg.library = s.require_string("library");
   cfg.network = s.get_string("network", "");
   cfg.weights = s.get_string("weights", "");
-  const int64_t c = s.get_int("channel", 0);
-  const int64_t h = s.get_int("height", 0);
-  const int64_t w = s.get_int("width", 0);
+  const int64_t c = s.require_int("channel");
+  const int64_t h = s.require_int("height");
+  const int64_t w = s.require_int("width");
   TINCY_CHECK_MSG(c > 0 && h > 0 && w > 0,
-                  "[offload] needs output geometry height/width/channel");
+                  "[offload] needs positive output geometry "
+                  "height/width/channel (line " << s.line << ")");
   cfg.output_shape = Shape{c, h, w};
   for (const auto& [k, v] : s.kv) {
     if (k != "library" && k != "network" && k != "weights" && k != "channel" &&

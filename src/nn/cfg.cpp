@@ -35,6 +35,22 @@ std::vector<float> Section::get_float_list(const std::string& key) const {
   return out;
 }
 
+int64_t Section::require_int(const std::string& key) const {
+  const auto it = kv.find(key);
+  TINCY_CHECK_MSG(it != kv.end(), "missing required key '"
+                                      << key << "' in [" << name
+                                      << "] (line " << line << ")");
+  return parse_int(it->second);
+}
+
+std::string Section::require_string(const std::string& key) const {
+  const auto it = kv.find(key);
+  TINCY_CHECK_MSG(it != kv.end() && !it->second.empty(),
+                  "missing required key '" << key << "' in [" << name
+                                           << "] (line " << line << ")");
+  return it->second;
+}
+
 std::vector<Section> parse_cfg(const std::string& text) {
   std::vector<Section> sections;
   std::istringstream in(text);
@@ -65,7 +81,10 @@ std::vector<Section> parse_cfg(const std::string& text) {
                             << std::string(line) << "'");
     TINCY_CHECK_MSG(!sections.empty(),
                     "line " << line_no << ": key=value before any [section]");
-    sections.back().kv[key] = value;
+    const bool inserted = sections.back().kv.emplace(key, value).second;
+    TINCY_CHECK_MSG(inserted, "line " << line_no << ": duplicate key '" << key
+                                      << "' in [" << sections.back().name
+                                      << "]");
   }
   return sections;
 }

@@ -25,9 +25,15 @@ struct Section {
                          const std::string& fallback) const;
   /// Comma-separated float list (e.g. region anchors).
   std::vector<float> get_float_list(const std::string& key) const;
+
+  /// Required-key getters: like the above but a missing key is a clean
+  /// tincy::Error naming the key and section instead of a fallback.
+  int64_t require_int(const std::string& key) const;
+  std::string require_string(const std::string& key) const;
 };
 
-/// Parses cfg text; throws on stray key=value lines before any section.
+/// Parses cfg text; throws on stray key=value lines before any section,
+/// malformed section headers, and duplicate keys within a section.
 std::vector<Section> parse_cfg(const std::string& text);
 
 /// Reads and parses a cfg file.

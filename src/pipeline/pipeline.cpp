@@ -156,15 +156,22 @@ void Pipeline::worker_loop(int worker_index) {
 }
 
 void Pipeline::run(int64_t num_frames) {
+  start(num_frames);
+  wait();
+}
+
+void Pipeline::start(int64_t num_frames) {
   TINCY_CHECK_MSG(num_frames >= 1, "num_frames " << num_frames);
   {
     std::lock_guard lock(mutex_);
+    TINCY_CHECK_MSG(!running_, "start() while a run is active");
     slots_.assign(options_.stages.size(), Slot{});
     frames_to_pull_ = num_frames;
     frames_pulled_ = 0;
     frames_sunk_ = 0;
     frames_total_ = num_frames;
     stopping_ = false;
+    running_ = true;
     // Reset only this pipeline's own metric objects, so the registry
     // reflects the last run without clobbering unrelated metrics.
     for (auto& sm : stage_metrics_) {
@@ -181,24 +188,51 @@ void Pipeline::run(int64_t num_frames) {
     frame_start_.clear();
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(options_.num_workers));
+  run_t0_ = std::chrono::steady_clock::now();
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w)
-    workers.emplace_back([this, w] { worker_loop(w); });
-  for (auto& t : workers) t.join();
-  const auto t1 = std::chrono::steady_clock::now();
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
 
-  const double elapsed_ms = ms_between(t0, t1);
+void Pipeline::wait() {
+  // Joining guarantees every in-flight stage has completed its buffer
+  // handoff (workers only exit at the scheduler wait point, never while
+  // holding a claimed job), so finalization below reads quiescent state.
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+
+  int64_t frames_done = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;  // nothing started, or wait() already finalized
+    running_ = false;
+    frames_done = frames_sunk_;
+  }
+  const double elapsed_ms =
+      ms_between(run_t0_, std::chrono::steady_clock::now());
   elapsed_ms_gauge_->set(elapsed_ms);
-  frames_counter_->add(num_frames);
+  frames_counter_->add(frames_done);
   fps_gauge_->set(elapsed_ms > 0.0
-                      ? 1000.0 * static_cast<double>(num_frames) / elapsed_ms
+                      ? 1000.0 * static_cast<double>(frames_done) / elapsed_ms
                       : 0.0);
   // Mean pending frames at each stage input over the run (Little's law).
   for (auto& sm : stage_metrics_)
     sm.queue_depth->set(elapsed_ms > 0.0 ? sm.wait_ms->sum() / elapsed_ms
                                          : 0.0);
+}
+
+void Pipeline::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+Pipeline::~Pipeline() {
+  stop();
+  wait();
 }
 
 telemetry::Snapshot Pipeline::snapshot() const { return metrics_->snapshot(); }

@@ -83,10 +83,31 @@ class Pipeline {
            std::function<video::Frame()> source,
            std::function<void(const video::Frame&)> sink, int num_workers);
 
+  /// Joins any workers still running (equivalent to stop() + wait()).
+  /// A frame in flight inside a stage finishes its buffer handoff before
+  /// the slots are destroyed — destruction never races a handoff.
+  ~Pipeline();
+
   /// Processes exactly `num_frames` frames end to end; blocks until the
   /// sink has consumed the last one, then joins the workers. Resets this
   /// pipeline's metrics first, so the registry reflects the last run.
+  /// Equivalent to start(num_frames) + wait().
   void run(int64_t num_frames);
+
+  /// Starts a run of `num_frames` frames and returns immediately.
+  /// start/wait/run must be driven from one controller thread; stop() may
+  /// be called from any thread (including a stage callback).
+  void start(int64_t num_frames);
+
+  /// Blocks until the run finishes (all frames sunk, or stop() observed),
+  /// joins the workers and finalizes the summary metrics. fps/elapsed
+  /// reflect the frames actually delivered to the sink.
+  void wait();
+
+  /// Requests an early stop: no new jobs are claimed; jobs already
+  /// executing finish and deposit their buffers normally. Idempotent,
+  /// callable from any thread; wait() (or the destructor) still joins.
+  void stop();
 
   /// Consistent sample of the metrics registry after the last run():
   /// `pipeline.*` plus whatever the stages recorded (e.g. `net.layer.*`
@@ -146,6 +167,10 @@ class Pipeline {
   int64_t frames_sunk_ = 0;
   int64_t frames_total_ = 0;
   bool stopping_ = false;
+  bool running_ = false;  ///< workers spawned, wait() not yet completed
+
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point run_t0_;
 
   std::vector<StageMetrics> stage_metrics_;
   telemetry::Histogram* frame_latency_hist_;

@@ -1,0 +1,103 @@
+#include "serve/arbiter.hpp"
+
+#include <algorithm>
+
+#include "core/errors.hpp"
+
+namespace tincy::serve {
+
+EngineArbiter::EngineArbiter(telemetry::MetricsRegistry* metrics) {
+  auto* reg = metrics ? metrics : &telemetry::MetricsRegistry::global();
+  grants_counter_ = &reg->counter("serve.arbiter.grants");
+  queue_depth_gauge_ = &reg->gauge("serve.arbiter.queue_depth");
+}
+
+double EngineArbiter::effective_vtime_locked(const SessionState& s) const {
+  // Idle sessions keep a stale (small) vtime; clamping to the floor caps
+  // the claim they can accumulate while not requesting the engine at one
+  // grant's worth of priority.
+  return std::max(s.vtime, vtime_floor_);
+}
+
+void EngineArbiter::add_session(int64_t session, int weight) {
+  TINCY_CHECK_MSG(weight >= 1, "session " << session << " weight " << weight);
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(!sessions_.contains(session),
+                  "session " << session << " already registered");
+  sessions_[session] = SessionState{weight, vtime_floor_, false};
+}
+
+bool EngineArbiter::try_acquire(int64_t session) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  TINCY_CHECK_MSG(it != sessions_.end(), "unknown session " << session);
+  SessionState& mine = it->second;
+
+  auto refuse = [&] {
+    if (!mine.pending) {
+      mine.pending = true;
+      ++pending_count_;
+      queue_depth_gauge_->set(static_cast<double>(pending_count_));
+    }
+    return false;
+  };
+
+  if (holder_ >= 0) return refuse();
+
+  // The engine is free: yield to any pending session with a smaller
+  // virtual time (or an equal one and a smaller id) — it asked first
+  // under the round-robin discipline and a worker will claim it next.
+  const double mine_vt = effective_vtime_locked(mine);
+  for (const auto& [id, other] : sessions_) {
+    if (id == session || !other.pending) continue;
+    const double other_vt = effective_vtime_locked(other);
+    if (other_vt < mine_vt || (other_vt == mine_vt && id < session))
+      return refuse();
+  }
+
+  if (mine.pending) {
+    mine.pending = false;
+    --pending_count_;
+    queue_depth_gauge_->set(static_cast<double>(pending_count_));
+  }
+  holder_ = session;
+  vtime_floor_ = mine_vt;
+  mine.vtime = mine_vt + 1.0 / static_cast<double>(mine.weight);
+  ++grants_;
+  grants_counter_->add(1);
+  return true;
+}
+
+void EngineArbiter::release(int64_t session) {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(holder_ == session,
+                  "release by session " << session << " but holder is "
+                                        << holder_);
+  holder_ = -1;
+}
+
+void EngineArbiter::cancel(int64_t session) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.pending) return;
+  it->second.pending = false;
+  --pending_count_;
+  queue_depth_gauge_->set(static_cast<double>(pending_count_));
+}
+
+int64_t EngineArbiter::grants() const {
+  std::lock_guard lock(mutex_);
+  return grants_;
+}
+
+int64_t EngineArbiter::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_count_;
+}
+
+bool EngineArbiter::busy() const {
+  std::lock_guard lock(mutex_);
+  return holder_ >= 0;
+}
+
+}  // namespace tincy::serve

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file arbiter.hpp
+/// Cross-stream arbitration of the single shared fabric engine.
+///
+/// The resource model admits exactly one generalized conv+pool engine on
+/// the XCZU3EG (docs/ARCHITECTURE.md §4), so a serving deployment with N
+/// concurrent streams must time-share it. The EngineArbiter decides
+/// *which stream* owns the engine next using weighted round-robin in
+/// deficit style: every grant advances the holder's virtual time by
+/// 1/weight, and a free engine goes to the pending session with the
+/// smallest virtual time (ties to the lower session id). A session with
+/// weight 2 therefore receives twice the grants of a weight-1 session
+/// under saturation, and no pending session starves.
+///
+/// Maturity ordering *within* a stream stays the StreamServer's job; the
+/// arbiter is deliberately unaware of stages and frames.
+///
+/// Telemetry (registry handed at construction, default global):
+///   serve.arbiter.grants       counter, one per successful acquire
+///   serve.arbiter.queue_depth  gauge, sessions waiting for the engine
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "telemetry/metrics.hpp"
+
+namespace tincy::serve {
+
+class EngineArbiter {
+ public:
+  explicit EngineArbiter(telemetry::MetricsRegistry* metrics = nullptr);
+
+  /// Registers a session; weight must be >= 1. A session joining late
+  /// starts at the current virtual-time floor, so it cannot claim a
+  /// backlog of grants it never waited for.
+  void add_session(int64_t session, int weight = 1);
+
+  /// Non-blocking: grants the engine iff it is free and no *pending*
+  /// session has a stronger round-robin claim. On refusal the session is
+  /// recorded as pending, so its claim matures; callers retry after the
+  /// next release (the owning server's condition variable covers this).
+  bool try_acquire(int64_t session);
+
+  /// Returns the engine; `session` must be the current holder.
+  void release(int64_t session);
+
+  /// Withdraws a pending claim (stream drained or server stopping).
+  void cancel(int64_t session);
+
+  int64_t grants() const;
+  int64_t pending() const;
+  bool busy() const;
+
+ private:
+  struct SessionState {
+    int weight = 1;
+    double vtime = 0.0;  ///< accumulated grant cost (deficit round-robin)
+    bool pending = false;
+  };
+
+  double effective_vtime_locked(const SessionState& s) const;
+
+  mutable std::mutex mutex_;
+  std::map<int64_t, SessionState> sessions_;
+  int64_t holder_ = -1;
+  int64_t pending_count_ = 0;
+  int64_t grants_ = 0;
+  double vtime_floor_ = 0.0;  ///< vtime of the most recent grantee
+  telemetry::Counter* grants_counter_;
+  telemetry::Gauge* queue_depth_gauge_;
+};
+
+}  // namespace tincy::serve

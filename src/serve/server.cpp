@@ -1,0 +1,240 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/errors.hpp"
+
+namespace tincy::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Session names become metric-name components (cf. pipeline stages).
+std::string metric_label(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), ' ', '_');
+  return out;
+}
+
+}  // namespace
+
+StreamServer::StreamServer(ServerOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics ? options_.metrics
+                                : &telemetry::MetricsRegistry::global()),
+      arbiter_(metrics_) {
+  TINCY_CHECK_MSG(options_.num_workers >= 1,
+                  "num_workers " << options_.num_workers);
+}
+
+StreamServer::~StreamServer() { stop(); }
+
+int64_t StreamServer::open_session(SessionConfig cfg) {
+  TINCY_CHECK_MSG(!cfg.stages.empty(), "session needs at least one stage");
+  TINCY_CHECK_MSG(cfg.queue_capacity >= 1,
+                  "queue_capacity " << cfg.queue_capacity);
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(!running_, "open_session() while the server is running");
+  const int64_t id = static_cast<int64_t>(sessions_.size());
+  auto s = std::make_unique<Session>();
+  s->cfg = std::move(cfg);
+  if (s->cfg.name.empty()) s->cfg.name = "s" + std::to_string(id);
+  s->slots.resize(s->cfg.stages.size());
+  const std::string prefix =
+      "serve.session." + metric_label(s->cfg.name) + ".";
+  s->frames_counter = &metrics_->counter(prefix + "frames");
+  s->latency_hist = &metrics_->histogram(prefix + "latency_ms");
+  s->rejected_counter = &metrics_->counter(prefix + "rejected");
+  arbiter_.add_session(id, s->cfg.weight);
+  sessions_.push_back(std::move(s));
+  return id;
+}
+
+void StreamServer::start() {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(!running_, "start() while already running");
+  TINCY_CHECK_MSG(!sessions_.empty(), "start() with no sessions");
+  for (auto& s : sessions_) {
+    s->queue.clear();
+    s->submit_times.clear();
+    s->slots.assign(s->cfg.stages.size(), Slot{});
+    s->admitted = 0;
+    s->done = 0;
+    s->frames_counter->reset();
+    s->latency_hist->reset();
+    s->rejected_counter->reset();
+  }
+  rr_next_ = 0;
+  stopping_ = false;
+  running_ = true;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ServeResult StreamServer::submit(int64_t session, video::Frame frame) {
+  std::unique_lock lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  Session& s = *sessions_[static_cast<size_t>(session)];
+  if (!running_ || stopping_) return ServeResult::kClosed;
+  if (static_cast<int64_t>(s.queue.size()) >= s.cfg.queue_capacity) {
+    s.rejected_counter->add(1);
+    return ServeResult::kOverloaded;
+  }
+  s.queue.push_back(std::move(frame));
+  s.submit_times.push_back(std::chrono::steady_clock::now());
+  ++s.admitted;
+  lock.unlock();
+  cv_.notify_all();
+  return ServeResult::kAccepted;
+}
+
+bool StreamServer::find_job_locked(Job& job) {
+  const size_t n = sessions_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t si = (rr_next_ + k) % n;
+    Session& s = *sessions_[si];
+    for (int64_t i = static_cast<int64_t>(s.cfg.stages.size()) - 1; i >= 0;
+         --i) {
+      Slot& out = s.slots[static_cast<size_t>(i)];
+      if (out.reserved || out.frame.has_value()) continue;  // output not free
+      const bool input_ready =
+          i == 0 ? !s.queue.empty()
+                 : s.slots[static_cast<size_t>(i - 1)].frame.has_value();
+      if (!input_ready) continue;
+      // Engine-tagged stages are claimed together with the engine grant;
+      // a refusal leaves a maturing claim with the arbiter and the scan
+      // moves on to overlappable CPU work of other sessions.
+      const bool engine = s.cfg.stages[static_cast<size_t>(i)].uses_engine;
+      if (engine && !arbiter_.try_acquire(static_cast<int64_t>(si))) continue;
+      job = Job{static_cast<int64_t>(si), i, engine};
+      rr_next_ = (si + 1) % n;
+      return true;
+    }
+  }
+  return false;
+}
+
+void StreamServer::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    Job job;
+    // stopping_ is tested first: once a stop is requested no new job (and
+    // in particular no engine grant) is claimed.
+    cv_.wait(lock, [&] { return stopping_ || find_job_locked(job); });
+    if (stopping_) return;
+
+    Session& s = *sessions_[static_cast<size_t>(job.session)];
+    Slot& out = s.slots[static_cast<size_t>(job.stage)];
+    out.reserved = true;
+    video::Frame frame;
+    if (job.stage == 0) {
+      frame = std::move(s.queue.front());
+      s.queue.pop_front();
+    } else {
+      Slot& in = s.slots[static_cast<size_t>(job.stage - 1)];
+      frame = std::move(*in.frame);
+      in.frame.reset();  // input buffer becomes free (Fig. 6)
+    }
+    lock.unlock();
+    cv_.notify_all();  // freed queue space / input slot enables upstream
+
+    s.cfg.stages[static_cast<size_t>(job.stage)].work(frame);
+    const bool last =
+        job.stage == static_cast<int64_t>(s.cfg.stages.size()) - 1;
+    // Delivery happens outside the lock but is serialized per session by
+    // the reserved last-stage slot, so results leave in order.
+    if (last && s.cfg.deliver) s.cfg.deliver(std::move(frame));
+    if (job.engine) arbiter_.release(job.session);
+
+    lock.lock();
+    out.reserved = false;
+    if (last) {
+      ++s.done;
+      s.frames_counter->add(1);
+      s.latency_hist->record(ms_between(s.submit_times.front(),
+                                        std::chrono::steady_clock::now()));
+      s.submit_times.pop_front();
+    } else {
+      out.frame = std::move(frame);
+    }
+    lock.unlock();
+    cv_.notify_all();  // deposited output / delivery may unblock drain()
+    lock.lock();
+  }
+}
+
+void StreamServer::drain() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] {
+    if (stopping_ || !running_) return true;
+    for (const auto& s : sessions_)
+      if (s->done != s->admitted) return false;
+    return true;
+  });
+}
+
+void StreamServer::stop() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    to_join.swap(workers_);
+  }
+  cv_.notify_all();
+  // Joining guarantees in-flight stages finished their buffer handoff
+  // (workers only exit at the scheduler wait point) before session state
+  // is touched below or the server is destroyed.
+  for (auto& t : to_join) t.join();
+  {
+    std::lock_guard lock(mutex_);
+    running_ = false;
+    for (size_t i = 0; i < sessions_.size(); ++i)
+      arbiter_.cancel(static_cast<int64_t>(i));
+  }
+  cv_.notify_all();
+}
+
+bool StreamServer::running() const {
+  std::lock_guard lock(mutex_);
+  return running_ && !stopping_;
+}
+
+int64_t StreamServer::num_sessions() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t StreamServer::queue_depth(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return static_cast<int64_t>(
+      sessions_[static_cast<size_t>(session)]->queue.size());
+}
+
+int64_t StreamServer::delivered(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return sessions_[static_cast<size_t>(session)]->done;
+}
+
+int64_t StreamServer::rejected(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return sessions_[static_cast<size_t>(session)]->rejected_counter->value();
+}
+
+}  // namespace tincy::serve

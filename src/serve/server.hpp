@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file server.hpp
+/// Multi-stream serving layer over the shared fabric engine.
+///
+/// The Fig. 5 demo pipelines ONE video stream; a serving deployment has N
+/// independent streams contending for the single conv+pool engine. The
+/// StreamServer accepts per-session frame submissions, runs every session
+/// through its own stage chain (single-slot free/avail buffers, exactly
+/// the paper's Fig. 6 handshake), and multiplexes engine-tagged stages
+/// over the EngineArbiter:
+///
+///  * scheduling is most-mature-first *within* a session (the paper's
+///    policy) and round-robin *across* sessions, with engine access
+///    weighted per session by the arbiter;
+///  * each session has a bounded admission queue: submit() returns
+///    ServeResult::kOverloaded instead of blocking when it is full
+///    (per-stream backpressure — the caller throttles or sheds);
+///  * delivery is in order per session: the single-slot chain prevents a
+///    frame overtaking another, stream by stream.
+///
+/// Telemetry (see docs/observability.md):
+///   serve.session.<name>.frames      counter, frames delivered
+///   serve.session.<name>.latency_ms  histogram, submit -> delivery
+///   serve.session.<name>.rejected    counter, kOverloaded submissions
+///   serve.arbiter.grants / serve.arbiter.queue_depth (EngineArbiter)
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/arbiter.hpp"
+#include "telemetry/metrics.hpp"
+#include "video/frame.hpp"
+
+namespace tincy::serve {
+
+/// Outcome of a frame submission.
+enum class ServeResult {
+  kAccepted,    ///< queued; the session's deliver hook will see it
+  kOverloaded,  ///< admission queue full — backpressure, retry later
+  kClosed,      ///< server not running (not started, stopping or stopped)
+};
+
+/// One stage of a session's processing chain. Stages with `uses_engine`
+/// run only while the session holds the fabric engine grant; everything
+/// else overlaps freely across sessions.
+struct ServeStage {
+  std::string name;
+  std::function<void(video::Frame&)> work;
+  bool uses_engine = false;
+};
+
+/// A client stream: its own stage chain (own network instance — sessions
+/// share no mutable state), in-order result delivery, an arbiter weight
+/// and an admission-queue bound.
+struct SessionConfig {
+  std::string name;  ///< metric label; defaults to "s<index>" when empty
+  std::vector<ServeStage> stages;
+  /// In-order delivery hook; invoked from worker threads, never
+  /// concurrently for the same session.
+  std::function<void(video::Frame&&)> deliver;
+  int weight = 1;               ///< engine share under saturation
+  int64_t queue_capacity = 8;   ///< admission bound (>= 1)
+};
+
+struct ServerOptions {
+  int num_workers = 4;  ///< shared worker pool (paper: 4 × A53)
+  /// Registry for serve.* metrics; null selects the process-wide default.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class StreamServer {
+ public:
+  explicit StreamServer(ServerOptions options = {});
+
+  /// stop()s and joins; queued frames that never started are dropped,
+  /// frames inside a stage finish their buffer handoff first.
+  ~StreamServer();
+
+  /// Registers a stream; must be called before start(). Returns the
+  /// session id used by submit()/accessors.
+  int64_t open_session(SessionConfig cfg);
+
+  /// Spawns the worker pool and begins accepting submissions. Resets the
+  /// serve.* metrics of this server's sessions.
+  void start();
+
+  /// Admits one frame into the session's queue (or rejects it). Thread
+  /// safe; any number of producer threads may submit concurrently.
+  ServeResult submit(int64_t session, video::Frame frame);
+
+  /// Blocks until every admitted frame has been delivered (or stop() is
+  /// requested from elsewhere).
+  void stop();
+
+  /// Blocks until all admitted frames are delivered, then keeps running
+  /// (more submissions remain possible).
+  void drain();
+
+  bool running() const;
+  int64_t num_sessions() const;
+  int64_t queue_depth(int64_t session) const;   ///< admitted, not yet started
+  int64_t delivered(int64_t session) const;
+  int64_t rejected(int64_t session) const;
+
+  EngineArbiter& arbiter() { return arbiter_; }
+  telemetry::MetricsRegistry& metrics() const { return *metrics_; }
+  telemetry::Snapshot snapshot() const { return metrics_->snapshot(); }
+
+ private:
+  /// Single-slot output buffer of one stage (Fig. 6 free/avail handshake).
+  struct Slot {
+    std::optional<video::Frame> frame;
+    bool reserved = false;
+  };
+
+  struct Session {
+    SessionConfig cfg;
+    std::deque<video::Frame> queue;  ///< admission queue (pre stage 0)
+    /// Submission timestamps, admission order == delivery order.
+    std::deque<std::chrono::steady_clock::time_point> submit_times;
+    std::vector<Slot> slots;
+    int64_t admitted = 0;
+    int64_t done = 0;
+    telemetry::Counter* frames_counter;
+    telemetry::Histogram* latency_hist;
+    telemetry::Counter* rejected_counter;
+  };
+
+  /// One claimable unit of work: (session, stage) plus whether the claim
+  /// came with the engine grant already held.
+  struct Job {
+    int64_t session = -1;
+    int64_t stage = -1;
+    bool engine = false;
+  };
+
+  /// Scans sessions round-robin (rotating start), stages back-to-front
+  /// (most mature first). Acquires the engine for engine-tagged stages as
+  /// part of the claim; a denial skips the stage, leaving a pending claim
+  /// with the arbiter.
+  bool find_job_locked(Job& job);
+  void worker_loop();
+
+  ServerOptions options_;
+  telemetry::MetricsRegistry* metrics_;
+  EngineArbiter arbiter_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::thread> workers_;
+  size_t rr_next_ = 0;  ///< next session the job scan starts from
+  bool running_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace tincy::serve

@@ -50,6 +50,92 @@ TEST(CfgParser, Errors) {
   EXPECT_THROW(parse_cfg("[net]\nnot a kv line\n"), Error);
 }
 
+TEST(CfgParser, EmptyFileYieldsNoSections) {
+  EXPECT_TRUE(parse_cfg("").empty());
+  EXPECT_TRUE(parse_cfg("\n\n# only comments\n; and darknet ones\n").empty());
+  // The builder refuses an empty document with a clean Error (a network
+  // needs at least a [net] section), never a crash.
+  EXPECT_THROW(build_network_from_string(""), Error);
+}
+
+TEST(CfgParser, DuplicateKeyInSectionIsAnError) {
+  try {
+    parse_cfg("[net]\nwidth=32\nwidth=64\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const Error& e) {
+    // The message names the offending line, key, and section.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key 'width'"), std::string::npos) << what;
+    EXPECT_NE(what.find("[net]"), std::string::npos) << what;
+  }
+  // Same key in *different* sections stays legal.
+  const auto ok = parse_cfg("[convolutional]\nfilters=2\n"
+                            "[convolutional]\nfilters=4\n");
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_EQ(ok[0].get_int("filters", 0), 2);
+  EXPECT_EQ(ok[1].get_int("filters", 0), 4);
+}
+
+TEST(CfgParser, TrailingWhitespaceValuesParseCleanly) {
+  const auto sections = parse_cfg("[net]\n"
+                                  "width=32   \n"
+                                  "height =\t24\t\n"
+                                  "name= padded value  \n");
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].get_int("width", 0), 32);
+  EXPECT_EQ(sections[0].get_int("height", 0), 24);
+  EXPECT_EQ(sections[0].get_string("name", ""), "padded value");
+  EXPECT_EQ(sections[0].require_int("width"), 32);
+}
+
+TEST(CfgParser, RequireHelpersReportMissingKeys) {
+  const auto sections = parse_cfg("[offload]\nlibrary=pl.so\n");
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].require_string("library"), "pl.so");
+  try {
+    sections[0].require_int("channel");
+    FAIL() << "missing key accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing required key 'channel'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("[offload]"), std::string::npos) << what;
+  }
+  EXPECT_THROW(sections[0].require_string("absent"), Error);
+}
+
+TEST(CfgParser, MalformedNumericValuesThrowCleanly) {
+  const auto sections = parse_cfg("[net]\nwidth=abc\nscale=1.2.3\n");
+  EXPECT_THROW(sections[0].get_int("width", 0), Error);
+  EXPECT_THROW(sections[0].get_double("scale", 0.0), Error);
+  EXPECT_THROW(sections[0].require_int("width"), Error);
+}
+
+TEST(Builder, OffloadSectionRequiresLibraryAndGeometry) {
+  const std::string head =
+      "[net]\nwidth=8\nheight=8\nchannels=3\n";
+  // No library.
+  EXPECT_THROW(build_network_from_string(
+                   head + "[offload]\nchannel=4\nheight=8\nwidth=8\n"),
+               Error);
+  // No geometry.
+  EXPECT_THROW(
+      build_network_from_string(head + "[offload]\nlibrary=pl.so\n"),
+      Error);
+}
+
+TEST(Builder, UnknownSectionErrorNamesTheSection) {
+  try {
+    build_network_from_string("[net]\nwidth=32\nheight=32\nchannels=3\n"
+                              "[shortcut]\nfrom=-2\n");
+    FAIL() << "unknown section accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shortcut"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Builder, RejectsUnknownSection) {
   EXPECT_THROW(
       build_network_from_string("[net]\nwidth=32\nheight=32\nchannels=3\n"

@@ -1,0 +1,337 @@
+// Concurrency suite for the multi-stream serving layer (src/serve).
+// This is the primary TSan target: run it from a -DTINCY_SANITIZE=thread
+// build to exercise the scheduler, arbiter and shutdown paths under the
+// race detector (see tests/README.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo.hpp"
+#include "pipeline/demo.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/arbiter.hpp"
+#include "serve/demo.hpp"
+#include "serve/server.hpp"
+#include "video/camera.hpp"
+
+namespace tincy::serve {
+namespace {
+
+video::Frame make_frame(int64_t seq) {
+  video::Frame f;
+  f.sequence = seq;
+  return f;
+}
+
+// --- EngineArbiter ---
+
+TEST(EngineArbiter, ExclusiveAndCountsGrants) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry);
+  arb.add_session(0);
+  arb.add_session(1);
+  EXPECT_TRUE(arb.try_acquire(0));
+  EXPECT_TRUE(arb.busy());
+  EXPECT_FALSE(arb.try_acquire(1));  // held -> refused, claim pending
+  EXPECT_EQ(arb.pending(), 1);
+  arb.release(0);
+  EXPECT_FALSE(arb.busy());
+  // Session 1 has the pending claim; 0 must yield to it now.
+  EXPECT_FALSE(arb.try_acquire(0));
+  EXPECT_TRUE(arb.try_acquire(1));
+  arb.release(1);
+  EXPECT_EQ(arb.grants(), 2);
+  EXPECT_EQ(registry.snapshot().counter_value("serve.arbiter.grants"), 2);
+}
+
+TEST(EngineArbiter, WeightedRoundRobinShares) {
+  // Both sessions permanently contending: a weight-2 session must receive
+  // twice the grants of a weight-1 session.
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry);
+  arb.add_session(0, /*weight=*/2);
+  arb.add_session(1, /*weight=*/1);
+  int grants0 = 0, grants1 = 0;
+  for (int round = 0; round < 30; ++round) {
+    int64_t held;
+    if (arb.try_acquire(0)) held = 0;
+    else if (arb.try_acquire(1)) held = 1;
+    else FAIL() << "engine free but nobody granted";
+    // The loser of this round keeps (or registers) its pending claim.
+    arb.try_acquire(held == 0 ? 1 : 0);
+    (held == 0 ? grants0 : grants1)++;
+    arb.release(held);
+  }
+  EXPECT_NEAR(grants0, 20, 2);
+  EXPECT_NEAR(grants1, 10, 2);
+}
+
+// --- StreamServer: the 4x64 stress test (tier-1, primary TSan target) ---
+
+TEST(StreamServer, FourStreamsPreserveOrderLoseNothing) {
+  constexpr int kStreams = 4;
+  constexpr int64_t kFrames = 64;
+
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  // Each stream stamps its frames in three stages (one engine-tagged) and
+  // collects delivered sequence numbers.
+  std::vector<std::vector<int64_t>> delivered(kStreams);
+  std::vector<std::unique_ptr<std::mutex>> sink_mutex;
+  for (int i = 0; i < kStreams; ++i)
+    sink_mutex.push_back(std::make_unique<std::mutex>());
+  std::atomic<int64_t> stamped{0};
+  for (int i = 0; i < kStreams; ++i) {
+    SessionConfig sc;
+    sc.stages = {
+        {"tag", [&stamped](video::Frame&) { stamped++; }, false},
+        {"engine", [](video::Frame&) {}, true},
+        {"finish", [](video::Frame&) {}, false},
+    };
+    auto* out = &delivered[static_cast<size_t>(i)];
+    auto* m = sink_mutex[static_cast<size_t>(i)].get();
+    sc.deliver = [out, m](video::Frame&& f) {
+      std::lock_guard lock(*m);
+      out->push_back(f.sequence);
+    };
+    sc.queue_capacity = kFrames;  // admit everything: loss would be a bug
+    EXPECT_EQ(server.open_session(std::move(sc)), i);
+  }
+  server.start();
+
+  // Concurrent producers, one per stream.
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kStreams; ++i) {
+    producers.emplace_back([&server, i] {
+      for (int64_t seq = 0; seq < kFrames; ++seq)
+        ASSERT_EQ(server.submit(i, make_frame(seq)),
+                  ServeResult::kAccepted);
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.drain();
+  server.stop();
+
+  // Per-stream frame order preserved; no frame lost or duplicated.
+  for (int i = 0; i < kStreams; ++i) {
+    const auto& seqs = delivered[static_cast<size_t>(i)];
+    ASSERT_EQ(seqs.size(), static_cast<size_t>(kFrames)) << "stream " << i;
+    for (int64_t s = 0; s < kFrames; ++s)
+      EXPECT_EQ(seqs[static_cast<size_t>(s)], s) << "stream " << i;
+  }
+  EXPECT_EQ(stamped.load(), kStreams * kFrames);
+
+  // serve.* counters must sum to the submitted frame count.
+  const auto snap = server.snapshot();
+  int64_t frames_sum = 0;
+  for (int i = 0; i < kStreams; ++i) {
+    const std::string base = "serve.session.s" + std::to_string(i) + ".";
+    const int64_t n = snap.counter_value(base + "frames");
+    EXPECT_EQ(n, kFrames) << base;
+    frames_sum += n;
+    const auto* lat = snap.find_histogram(base + "latency_ms");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->stats.count, kFrames);
+    EXPECT_EQ(snap.counter_value(base + "rejected"), 0);
+  }
+  EXPECT_EQ(frames_sum, kStreams * kFrames);
+  // Every frame crossed the engine stage exactly once.
+  EXPECT_EQ(snap.counter_value("serve.arbiter.grants"),
+            kStreams * kFrames);
+}
+
+// --- Backpressure and graceful rejection ---
+
+TEST(StreamServer, OverloadRejectsInsteadOfBlocking) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  // A stage that blocks until released, so the queue genuinely fills.
+  std::atomic<bool> release{false};
+  SessionConfig sc;
+  sc.stages = {{"block", [&release](video::Frame&) {
+                  while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                }, false}};
+  sc.queue_capacity = 2;
+  server.open_session(std::move(sc));
+  server.start();
+
+  // First submit is consumed by the worker; then the queue (capacity 2)
+  // fills; further submissions are shed, not blocked.
+  int accepted = 0, overloaded = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = server.submit(0, make_frame(i));
+    if (r == ServeResult::kAccepted) ++accepted;
+    if (r == ServeResult::kOverloaded) ++overloaded;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(accepted, 3);            // 1 in flight + 2 queued
+  EXPECT_GE(overloaded, 1);
+  EXPECT_EQ(accepted + overloaded, 10);
+  EXPECT_EQ(server.rejected(0), overloaded);
+  release.store(true);
+  server.drain();
+  EXPECT_EQ(server.delivered(0), accepted);
+  server.stop();
+  EXPECT_EQ(server.submit(0, make_frame(99)), ServeResult::kClosed);
+  EXPECT_EQ(server.snapshot().counter_value("serve.session.s0.rejected"),
+            overloaded);
+}
+
+// --- Shutdown: stop() mid-stream never loses the handoff ---
+
+TEST(StreamServer, StopMidStreamIsClean) {
+  for (int iter = 0; iter < 20; ++iter) {
+    telemetry::MetricsRegistry registry;
+    ServerOptions opts;
+    opts.num_workers = 3;
+    opts.metrics = &registry;
+    StreamServer server(opts);
+    std::vector<std::vector<int64_t>> delivered(2);
+    std::mutex m;
+    for (int i = 0; i < 2; ++i) {
+      SessionConfig sc;
+      sc.stages = {{"a", [](video::Frame&) {
+                      std::this_thread::sleep_for(
+                          std::chrono::microseconds(200));
+                    }, false},
+                   {"engine", [](video::Frame&) {}, true}};
+      auto* out = &delivered[static_cast<size_t>(i)];
+      sc.deliver = [out, &m](video::Frame&& f) {
+        std::lock_guard lock(m);
+        out->push_back(f.sequence);
+      };
+      sc.queue_capacity = 64;
+      server.open_session(std::move(sc));
+    }
+    server.start();
+    std::thread producer([&server] {
+      for (int64_t seq = 0; seq < 64; ++seq)
+        for (int i = 0; i < 2; ++i)
+          if (server.submit(i, make_frame(seq)) == ServeResult::kClosed)
+            return;
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(300 + 137 * iter));
+    server.stop();
+    producer.join();
+    // Whatever arrived is an in-order prefix per stream.
+    for (const auto& seqs : delivered)
+      for (size_t s = 0; s < seqs.size(); ++s)
+        EXPECT_EQ(seqs[s], static_cast<int64_t>(s));
+  }
+}
+
+// --- Golden determinism: 1-session server == single-stream pipeline ---
+
+struct FrameRecord {
+  int64_t sequence;
+  std::vector<detect::Detection> detections;
+};
+
+std::vector<FrameRecord> run_reference_pipeline(uint64_t camera_seed,
+                                                int64_t frames) {
+  telemetry::MetricsRegistry registry;
+  auto net = nn::build_network_from_string(
+      nn::zoo::tiny_yolo_cfg(nn::zoo::TinyVariant::kTincy,
+                             nn::zoo::QuantMode::kFloat, 64,
+                             nn::zoo::CpuProfile::kFused),
+      &registry);
+  Rng rng(11);
+  nn::zoo::randomize(*net, rng);
+  video::SyntheticCamera camera({.width = 96, .height = 64,
+                                 .seed = camera_seed});
+  std::vector<FrameRecord> out;
+  std::mutex m;
+  pipeline::PipelineOptions po;
+  po.stages = pipeline::make_demo_stages(*net, pipeline::DemoConfig{});
+  po.source = [&camera] { return camera.read_frame(); };
+  po.sink = [&out, &m](const video::Frame& f) {
+    std::lock_guard lock(m);
+    out.push_back({f.sequence, f.detections});
+  };
+  po.num_workers = 2;
+  po.metrics = &registry;
+  pipeline::Pipeline p(std::move(po));
+  p.run(frames);
+  return out;
+}
+
+std::vector<FrameRecord> run_serving_session(uint64_t camera_seed,
+                                             int64_t frames) {
+  telemetry::MetricsRegistry registry;
+  auto net = nn::build_network_from_string(
+      nn::zoo::tiny_yolo_cfg(nn::zoo::TinyVariant::kTincy,
+                             nn::zoo::QuantMode::kFloat, 64,
+                             nn::zoo::CpuProfile::kFused),
+      &registry);
+  Rng rng(11);  // identical weights to the reference
+  nn::zoo::randomize(*net, rng);
+  video::SyntheticCamera camera({.width = 96, .height = 64,
+                                 .seed = camera_seed});
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+  std::vector<FrameRecord> out;
+  std::mutex m;
+  SessionConfig sc;
+  sc.stages = demo_session_stages(*net, pipeline::DemoConfig{},
+                                  EnginePolicy::kHiddenLayers);
+  sc.deliver = [&out, &m](video::Frame&& f) {
+    std::lock_guard lock(m);
+    out.push_back({f.sequence, std::move(f.detections)});
+  };
+  sc.queue_capacity = frames;
+  server.open_session(std::move(sc));
+  server.start();
+  for (int64_t i = 0; i < frames; ++i)
+    EXPECT_EQ(server.submit(0, camera.read_frame()),
+              ServeResult::kAccepted);
+  server.drain();
+  server.stop();
+  return out;
+}
+
+TEST(StreamServer, GoldenMatchesSingleStreamPipeline) {
+  constexpr int64_t kFrames = 8;
+  const auto ref = run_reference_pipeline(29, kFrames);
+  const auto got = run_serving_session(29, kFrames);
+  ASSERT_EQ(ref.size(), static_cast<size_t>(kFrames));
+  ASSERT_EQ(got.size(), static_cast<size_t>(kFrames));
+  for (size_t f = 0; f < ref.size(); ++f) {
+    EXPECT_EQ(ref[f].sequence, got[f].sequence);
+    ASSERT_EQ(ref[f].detections.size(), got[f].detections.size())
+        << "frame " << f;
+    for (size_t d = 0; d < ref[f].detections.size(); ++d) {
+      const auto& a = ref[f].detections[d];
+      const auto& b = got[f].detections[d];
+      EXPECT_EQ(a.class_id, b.class_id);
+      // Bit-identical: the serving layer must not perturb the math.
+      EXPECT_EQ(a.objectness, b.objectness);
+      EXPECT_EQ(a.class_prob, b.class_prob);
+      EXPECT_EQ(a.box.x, b.box.x);
+      EXPECT_EQ(a.box.y, b.box.y);
+      EXPECT_EQ(a.box.w, b.box.w);
+      EXPECT_EQ(a.box.h, b.box.h);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tincy::serve

@@ -1,10 +1,14 @@
 // Schema checker for `tincy --metrics-json` output (the tier2-metrics
-// CTest label). Validates that the document parses as telemetry schema
-// v1 and contains the observability surface the demo pipeline promises:
-// per-layer latency histograms, per-stage busy/wait metrics, and — with
-// --frames N — stage span counts equal to the frames processed.
+// and tier2-serve CTest labels). Validates that the document parses as
+// telemetry schema v1 and contains the observability surface the demo
+// pipeline promises: per-layer latency histograms, per-stage busy/wait
+// metrics, and — with --frames N — stage span counts equal to the frames
+// processed. With --serve-frames N it instead validates the serving
+// surface of `tincy serve-sim`: serve.session.<id>.frames counters
+// summing to N, a matching latency histogram per session, and the
+// serve.arbiter.* metrics.
 //
-// Usage: tincy_check_metrics <metrics.json> [--frames N]
+// Usage: tincy_check_metrics <metrics.json> [--frames N | --serve-frames N]
 
 #include <cstdio>
 #include <cstring>
@@ -37,9 +41,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   int64_t expect_frames = -1;
-  for (int i = 2; i + 1 < argc; ++i)
+  int64_t expect_serve_frames = -1;
+  for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0)
       expect_frames = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--serve-frames") == 0)
+      expect_serve_frames = std::atoll(argv[i + 1]);
+  }
 
   std::ifstream f(argv[1]);
   if (!f.good()) return fail(std::string("cannot open ") + argv[1]);
@@ -65,6 +73,41 @@ int main(int argc, char** argv) {
       if (s.p95 > s.max + 1e-9) return fail(h.name + ": p95 > max");
       if (s.sum + 1e-9 < s.max) return fail(h.name + ": sum < max");
     }
+  }
+
+  // Serving-surface mode: validate the serve.* namespace and stop.
+  if (expect_serve_frames >= 0) {
+    int64_t sessions = 0, frames_sum = 0;
+    for (const auto& c : snapshot.counters) {
+      const bool is_frames = c.name.rfind("serve.session.", 0) == 0 &&
+                             ends_with(c.name, ".frames");
+      if (!is_frames) continue;
+      ++sessions;
+      frames_sum += c.value;
+      // Each session's latency histogram must span exactly its frames.
+      const std::string base = c.name.substr(0, c.name.size() - 7);
+      const auto* lat = snapshot.find_histogram(base + ".latency_ms");
+      if (!lat) return fail(base + ".latency_ms missing");
+      if (lat->stats.count != c.value)
+        return fail(base + ".latency_ms: " +
+                    std::to_string(lat->stats.count) + " spans, counter " +
+                    std::to_string(c.value));
+      if (!snapshot.find_counter(base + ".rejected"))
+        return fail(base + ".rejected missing");
+    }
+    if (sessions == 0) return fail("no serve.session.*.frames counters");
+    if (frames_sum != expect_serve_frames)
+      return fail("serve.session.*.frames sum to " +
+                  std::to_string(frames_sum) + ", expected " +
+                  std::to_string(expect_serve_frames));
+    if (!snapshot.find_counter("serve.arbiter.grants"))
+      return fail("serve.arbiter.grants missing");
+    if (!snapshot.find_gauge("serve.arbiter.queue_depth"))
+      return fail("serve.arbiter.queue_depth missing");
+    std::printf("metrics OK: %lld serving session(s), %lld frames\n",
+                static_cast<long long>(sessions),
+                static_cast<long long>(frames_sum));
+    return 0;
   }
 
   // Per-layer latency histograms from the disintegrated forward pass.

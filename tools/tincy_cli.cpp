@@ -6,6 +6,9 @@
 //   tincy detect <cfg> <weights|-> <in.ppm> [thresh] [out.ppm]
 //                                               single-image detection
 //   tincy demo [frames] [workers]               pipelined live demo (Fig. 5)
+//   tincy serve-sim [streams] [frames] [workers]
+//                                               multi-stream serving over the
+//                                               shared fabric engine
 //   tincy export-binparam <cfg> <weights|-> <dir>
 //                                               fabric parameter export
 //   tincy ladder                                the Sec. III speedup ladder
@@ -17,9 +20,13 @@
 // cfg arguments accept either a file path or one of the zoo shorthands
 // `zoo:tiny`, `zoo:tincy`, `zoo:tincy-w1a3`, `zoo:mlp4`, `zoo:cnv6`.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/export.hpp"
@@ -40,6 +47,8 @@
 #include "offload/registration.hpp"
 #include "perf/ladder.hpp"
 #include "pipeline/demo.hpp"
+#include "serve/demo.hpp"
+#include "serve/server.hpp"
 #include "video/draw.hpp"
 #include "video/ppm.hpp"
 
@@ -149,6 +158,101 @@ int cmd_demo(int argc, char** argv) {
   return sink.in_order() ? 0 : 1;
 }
 
+int cmd_serve_sim(int argc, char** argv) {
+  const int streams = argc > 0 ? std::atoi(argv[0]) : 4;
+  const int64_t frames = argc > 1 ? std::atoll(argv[1]) : 32;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (streams < 1 || frames < 1 || workers < 1) {
+    std::fprintf(stderr,
+                 "usage: tincy serve-sim [streams>=1] [frames>=1] "
+                 "[workers>=1]\n");
+    return 2;
+  }
+
+  serve::ServerOptions opts;
+  opts.num_workers = workers;
+  serve::StreamServer server(opts);
+
+  // Every stream is an independent client: its own network instance (no
+  // shared activation storage), its own camera, its own ordered sink.
+  // Only the fabric engine is shared, through the arbiter.
+  std::vector<std::unique_ptr<nn::Network>> nets;
+  std::vector<std::unique_ptr<video::SyntheticCamera>> cameras;
+  std::vector<video::OrderCheckingSink> sinks(static_cast<size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    auto net = nn::zoo::build(nn::zoo::tiny_yolo_cfg(
+        nn::zoo::TinyVariant::kTincy, nn::zoo::QuantMode::kFloat, 64,
+        nn::zoo::CpuProfile::kFused));
+    Rng rng(3 + static_cast<uint64_t>(i));
+    nn::zoo::randomize(*net, rng);
+    cameras.push_back(std::make_unique<video::SyntheticCamera>(
+        video::CameraConfig{.width = 128,
+                            .height = 96,
+                            .seed = 17 + static_cast<uint64_t>(i)}));
+    serve::SessionConfig sc;
+    sc.stages = serve::demo_session_stages(
+        *net, pipeline::DemoConfig{}, serve::EnginePolicy::kHiddenLayers);
+    auto* sink = &sinks[static_cast<size_t>(i)];
+    sc.deliver = [sink](video::Frame&& f) { sink->push(f); };
+    sc.queue_capacity = 4;
+    server.open_session(std::move(sc));
+    nets.push_back(std::move(net));
+  }
+
+  server.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  // Round-robin submission; a full queue answers kOverloaded and the
+  // frame is retried — the per-stream backpressure path.
+  std::vector<int64_t> sent(static_cast<size_t>(streams), 0);
+  std::vector<std::optional<video::Frame>> held(
+      static_cast<size_t>(streams));
+  int64_t remaining = static_cast<int64_t>(streams) * frames;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int i = 0; i < streams; ++i) {
+      const auto ui = static_cast<size_t>(i);
+      if (sent[ui] == frames) continue;
+      if (!held[ui]) held[ui] = cameras[ui]->read_frame();
+      if (server.submit(i, *held[ui]) == serve::ServeResult::kAccepted) {
+        held[ui].reset();
+        ++sent[ui];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  server.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.stop();
+
+  bool ok = true;
+  const auto snapshot = server.snapshot();
+  std::printf("stream  frames  rejected  mean_lat_ms  order\n");
+  for (int i = 0; i < streams; ++i) {
+    const auto& sink = sinks[static_cast<size_t>(i)];
+    const auto* lat = snapshot.find_histogram(
+        "serve.session.s" + std::to_string(i) + ".latency_ms");
+    std::printf("s%-5d  %6lld  %8lld  %11.2f  %s\n", i,
+                static_cast<long long>(sink.frames_received()),
+                static_cast<long long>(server.rejected(i)),
+                lat ? lat->stats.mean() : 0.0,
+                sink.in_order() ? "ok" : "VIOLATED");
+    ok = ok && sink.in_order() && sink.frames_received() == frames;
+  }
+  const auto total = static_cast<long long>(streams) * frames;
+  std::printf(
+      "%d stream(s), %lld frames total, %.2f s, %.1f fps aggregate, "
+      "%lld engine grants\n",
+      streams, static_cast<long long>(total), elapsed_s,
+      elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s : 0.0,
+      static_cast<long long>(server.arbiter().grants()));
+  return ok ? 0 : 1;
+}
+
 int cmd_export_binparam(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
@@ -180,6 +284,7 @@ int usage() {
       "  tincy ops <cfg|zoo:...>\n"
       "  tincy detect <cfg|zoo:...> <weights|-> <in.ppm> [thresh] [out.ppm]\n"
       "  tincy demo [frames] [workers]\n"
+      "  tincy serve-sim [streams] [frames] [workers]\n"
       "  tincy export-binparam <cfg|zoo:...> <weights|-> <dir>\n"
       "  tincy ladder\n"
       "global flags: --metrics-json <path>  --metrics-summary\n"
@@ -237,6 +342,8 @@ int main(int argc, char** argv) {
     else if (cmd == "ops" && nargs >= 3) rc = cmd_ops(args[2]);
     else if (cmd == "detect") rc = cmd_detect(nargs - 2, args.data() + 2);
     else if (cmd == "demo") rc = cmd_demo(nargs - 2, args.data() + 2);
+    else if (cmd == "serve-sim")
+      rc = cmd_serve_sim(nargs - 2, args.data() + 2);
     else if (cmd == "export-binparam")
       rc = cmd_export_binparam(nargs - 2, args.data() + 2);
     else if (cmd == "ladder") rc = cmd_ladder();
