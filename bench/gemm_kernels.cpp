@@ -6,11 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "gemm/first_layer.hpp"
 #include "gemm/gemm_lowp.hpp"
+#include "gemm/gemm_packed.hpp"
 #include "gemm/gemm_ref.hpp"
 #include "gemm/gemm_simd.hpp"
 #include "quant/affine.hpp"
@@ -179,6 +186,206 @@ void BM_Gemm_Blocked(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm_Blocked);
 
+// --- Quantized GEMM engine (packed/tiled/threaded, gemm_packed.hpp) ---
+
+struct LowpGemmFixture {
+  static constexpr int64_t M = 128, N = 2704, K = 576;
+  std::vector<uint8_t> a, b;
+  std::vector<int32_t> c;
+  int32_t za = 7, zb = 131;
+  gemm::PackedLhs lhs;
+  LowpGemmFixture() : a(M * K), b(K * N), c(M * N) {
+    Rng rng(3);
+    for (auto& v : a) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    for (auto& v : b) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    lhs = gemm::pack_lhs(a.data(), M, K, za);
+  }
+};
+
+LowpGemmFixture& lowp_fixture() {
+  static LowpGemmFixture f;
+  return f;
+}
+
+void BM_GemmLowp_Naive(benchmark::State& state) {
+  auto& f = lowp_fixture();
+  for (auto _ : state) {
+    gemm::gemm_lowp_i32(f.M, f.N, f.K, f.a.data(), f.za, f.b.data(), f.zb,
+                        f.c.data());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_GemmLowp_Naive);
+
+void BM_GemmLowp_Packed(benchmark::State& state) {
+  auto& f = lowp_fixture();
+  gemm::GemmOptions opts;
+  opts.allow_threads = false;
+  for (auto _ : state) {
+    gemm::gemm_lowp_packed(f.lhs, f.b.data(), f.zb, f.N, f.c.data(), opts);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_GemmLowp_Packed);
+
+void BM_GemmLowp_PackedThreaded(benchmark::State& state) {
+  auto& f = lowp_fixture();
+  for (auto _ : state) {
+    gemm::gemm_lowp_packed(f.lhs, f.b.data(), f.zb, f.N, f.c.data(), {});
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_GemmLowp_PackedThreaded);
+
+// --- Self-checking performance gate (tier2-gemm) ----------------------
+//
+// `gemm_kernels --gate [out.json]` times the packed engine against the
+// naive gemm_lowp_i32 oracle on the Tincy YOLO first/last CPU-layer
+// shapes, asserts bit-exact parity, enforces the speedup floors from
+// the issue (packed+threaded >= 3x, single-threaded pack+tile >= 1.5x),
+// and writes a baseline-vs-packed-vs-threaded report to BENCH_gemm.json.
+
+struct GateShape {
+  const char* name;
+  int64_t M, N, K;
+};
+
+template <typename F>
+double best_of_ms(int trials, F&& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+int run_gate(const char* json_path) {
+  // Layer 0 runs at the reduced 104x104 benchmark resolution (same
+  // geometry ratio as 416x416, 16x faster to time); layer 15 is the
+  // exact Tincy YOLO output conv (125 filters over 13x13 at K=1024).
+  const GateShape shapes[] = {
+      {"layer0", 16, 104 * 104, 27},
+      {"layerlast", 125, 13 * 13, 1024},
+  };
+  const int kTrials = 5;
+  const double kMinThreadedSpeedup = 3.0;
+  const double kMinSingleThreadSpeedup = 1.5;
+  const int threads = core::ThreadPool::shared().threads();
+
+  bool pass = true;
+  std::ostringstream js;
+  js << "{\n  \"schema\": \"tincy-bench-gemm-v1\",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"min_speedup_threaded\": " << kMinThreadedSpeedup << ",\n"
+     << "  \"min_speedup_single_thread\": " << kMinSingleThreadSpeedup
+     << ",\n  \"shapes\": [";
+
+  bool first_shape = true;
+  for (const auto& s : shapes) {
+    Rng rng(42);
+    const int32_t za = 7, zb = 131;
+    std::vector<uint8_t> A(s.M * s.K), B(s.K * s.N);
+    for (auto& v : A) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    for (auto& v : B) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    std::vector<int32_t> ref(s.M * s.N), got(s.M * s.N);
+
+    // Bit-exact parity: packed engine vs the naive i32 oracle, and the
+    // 16-bit shift-4 fast path vs its scalar oracle (both wrap/saturate
+    // identically, so parity holds for any zero points).
+    gemm::gemm_lowp_i32(s.M, s.N, s.K, A.data(), za, B.data(), zb, ref.data());
+    gemm::gemm_lowp_packed(s.M, s.N, s.K, A.data(), za, B.data(), zb,
+                           got.data(), {});
+    const bool parity_i32 = ref == got;
+
+    gemm::gemm_lowp_i32_shift4(s.M, s.N, s.K, A.data(), za, B.data(), zb,
+                               ref.data());
+    gemm::GemmOptions shift4_opts;
+    shift4_opts.acc = gemm::Accumulator::kI16Shift4;
+    gemm::gemm_lowp_packed(s.M, s.N, s.K, A.data(), za, B.data(), zb,
+                           got.data(), shift4_opts);
+    const bool parity_shift4 = ref == got;
+
+    const double naive_ms = best_of_ms(kTrials, [&] {
+      gemm::gemm_lowp_i32(s.M, s.N, s.K, A.data(), za, B.data(), zb,
+                          got.data());
+    });
+    // Single-threaded, per-call pack: isolates the pack+tile win.
+    gemm::GemmOptions st;
+    st.allow_threads = false;
+    const double packed_st_ms = best_of_ms(kTrials, [&] {
+      gemm::gemm_lowp_packed(s.M, s.N, s.K, A.data(), za, B.data(), zb,
+                             got.data(), st);
+    });
+    // Full engine: weights packed once (as the layer caches do), threads on.
+    const gemm::PackedLhs lhs = gemm::pack_lhs(A.data(), s.M, s.K, za);
+    const double threaded_ms = best_of_ms(kTrials, [&] {
+      gemm::gemm_lowp_packed(lhs, B.data(), zb, s.N, got.data(), {});
+    });
+
+    const double mflop = 2.0 * s.M * s.N * s.K / 1e6;
+    const double speedup_st = naive_ms / packed_st_ms;
+    const double speedup_threaded = naive_ms / threaded_ms;
+    const bool shape_ok = parity_i32 && parity_shift4 &&
+                          speedup_st >= kMinSingleThreadSpeedup &&
+                          speedup_threaded >= kMinThreadedSpeedup;
+    pass = pass && shape_ok;
+
+    std::printf(
+        "%-9s M=%-4lld N=%-6lld K=%-5lld parity(i32)=%s parity(shift4)=%s\n"
+        "          naive %8.3f ms (%7.0f MFLOP/s)\n"
+        "          packed-1t %8.3f ms (%7.0f MFLOP/s)  %.2fx  [floor %.1fx]\n"
+        "          threaded  %8.3f ms (%7.0f MFLOP/s)  %.2fx  [floor %.1fx]"
+        "  -> %s\n",
+        s.name, static_cast<long long>(s.M), static_cast<long long>(s.N),
+        static_cast<long long>(s.K), parity_i32 ? "ok" : "FAIL",
+        parity_shift4 ? "ok" : "FAIL", naive_ms, mflop / naive_ms * 1e3,
+        packed_st_ms, mflop / packed_st_ms * 1e3, speedup_st,
+        kMinSingleThreadSpeedup, threaded_ms, mflop / threaded_ms * 1e3,
+        speedup_threaded, kMinThreadedSpeedup, shape_ok ? "PASS" : "FAIL");
+
+    js << (first_shape ? "" : ",") << "\n    {\"name\": \"" << s.name
+       << "\", \"M\": " << s.M << ", \"N\": " << s.N << ", \"K\": " << s.K
+       << ",\n     \"naive_ms\": " << naive_ms
+       << ", \"packed_single_thread_ms\": " << packed_st_ms
+       << ", \"packed_threaded_ms\": " << threaded_ms
+       << ",\n     \"naive_mflops\": " << mflop / naive_ms * 1e3
+       << ", \"packed_single_thread_mflops\": " << mflop / packed_st_ms * 1e3
+       << ", \"packed_threaded_mflops\": " << mflop / threaded_ms * 1e3
+       << ",\n     \"speedup_single_thread\": " << speedup_st
+       << ", \"speedup_threaded\": " << speedup_threaded
+       << ", \"parity_i32\": " << (parity_i32 ? "true" : "false")
+       << ", \"parity_shift4\": " << (parity_shift4 ? "true" : "false")
+       << ", \"pass\": " << (shape_ok ? "true" : "false") << "}";
+    first_shape = false;
+  }
+  js << "\n  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+
+  if (json_path) {
+    std::ofstream out(json_path);
+    out << js.str();
+    if (!out.good()) {
+      std::fprintf(stderr, "gemm gate: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  std::printf("gemm gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0)
+    return run_gate(argc > 2 ? argv[2] : "BENCH_gemm.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

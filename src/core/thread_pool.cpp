@@ -1,0 +1,137 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tincy::core {
+
+namespace {
+
+/// Set inside worker_loop so nested parallel_for calls from a worker run
+/// inline instead of re-entering the queue.
+thread_local bool tls_pool_worker = false;
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("TINCY_GEMM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min<long>(v, 64));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  // The paper's envelope is the quad-core A53 cluster; stay within it by
+  // default so the pipeline/serve worker pools keep cores of their own.
+  return static_cast<int>(std::min<unsigned>(std::max(hw, 1u), 4u));
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : num_threads_(threads > 0 ? threads : default_threads()) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end, int64_t chunks,
+                              void (*body)(int64_t, int64_t, void*),
+                              void* ctx) {
+  const int64_t count = end - begin;
+  if (count <= 0) return;
+  int64_t num_blocks = std::clamp<int64_t>(chunks, 1, count);
+  if (workers_.empty() || num_blocks == 1 || tls_pool_worker) {
+    body(begin, end, ctx);
+    return;
+  }
+
+  // Stack-resident job descriptor: every field below is only touched under
+  // mutex_ (the invariant making the pool allocation-free and TSan-clean).
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.chunk = (count + num_blocks - 1) / num_blocks;
+  num_blocks = (count + job.chunk - 1) / job.chunk;
+  job.num_blocks = num_blocks;
+  job.body = body;
+  job.ctx = ctx;
+  job.next_block.store(0, std::memory_order_relaxed);
+  job.in_flight.store(num_blocks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_tail_) pending_tail_->next = &job;
+    else pending_ = &job;
+    pending_tail_ = &job;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates: claim blocks of its own job until none left,
+  // then wait for blocks claimed by workers to drain.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    const int64_t b = job.next_block.load(std::memory_order_relaxed);
+    if (b >= job.num_blocks) break;
+    job.next_block.store(b + 1, std::memory_order_relaxed);
+    if (b + 1 >= job.num_blocks) {
+      // Last block claimed: unlink the job so workers stop seeing it.
+      Job** p = &pending_;
+      while (*p && *p != &job) p = &(*p)->next;
+      if (*p) {
+        *p = job.next;
+        if (pending_tail_ == &job)
+          for (pending_tail_ = pending_; pending_tail_ && pending_tail_->next;)
+            pending_tail_ = pending_tail_->next;
+        if (!pending_) pending_tail_ = nullptr;
+      }
+    }
+    lock.unlock();
+    const int64_t lo = job.begin + b * job.chunk;
+    const int64_t hi = std::min(job.end, lo + job.chunk);
+    body(lo, hi, ctx);
+    lock.lock();
+    if (job.in_flight.fetch_sub(1, std::memory_order_relaxed) == 1)
+      done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [&job] {
+    return job.in_flight.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+void ThreadPool::worker_loop() {
+  tls_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || pending_ != nullptr; });
+    if (stopping_ && pending_ == nullptr) return;
+    Job* job = pending_;
+    const int64_t b = job->next_block.load(std::memory_order_relaxed);
+    job->next_block.store(b + 1, std::memory_order_relaxed);
+    if (b + 1 >= job->num_blocks) {
+      // Head exhausted: pop it (a job in the list always has a free block,
+      // so the head is the job we just drained).
+      pending_ = job->next;
+      if (!pending_) pending_tail_ = nullptr;
+    }
+    lock.unlock();
+    const int64_t lo = job->begin + b * job->chunk;
+    const int64_t hi = std::min(job->end, lo + job->chunk);
+    job->body(lo, hi, job->ctx);
+    lock.lock();
+    if (job->in_flight.fetch_sub(1, std::memory_order_relaxed) == 1)
+      done_cv_.notify_all();
+  }
+}
+
+}  // namespace tincy::core

@@ -1,7 +1,8 @@
 #include "gemm/gemm_lowp.hpp"
 
-#include <vector>
+#include <algorithm>
 
+#include "gemm/scratch.hpp"
 #include "simd/vec.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -61,18 +62,24 @@ void gemm_lowp_i32_lanes(int64_t M, int64_t N, int64_t K, const uint8_t* A,
 void gemm_lowp_u8(int64_t M, int64_t N, int64_t K, const uint8_t* A,
                   int32_t lhs_zero, const uint8_t* B, int32_t rhs_zero,
                   const quant::Requantizer& requant, uint8_t* C) {
-  std::vector<int32_t> acc(static_cast<size_t>(N));
-  for (int64_t i = 0; i < M; ++i) {
-    gemm_lowp_i32(1, N, K, A + i * K, lhs_zero, B, rhs_zero, acc.data());
-    for (int64_t j = 0; j < N; ++j) C[i * N + j] = requant.apply(acc[j]);
-  }
+  // Accumulate through the packed engine (bit-identical to gemm_lowp_i32)
+  // into arena scratch: no heap allocation in steady state.
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  int32_t* acc = arena.alloc<int32_t>(M * N);
+  gemm_lowp_packed(M, N, K, A, lhs_zero, B, rhs_zero, acc);
+  for (int64_t i = 0; i < M * N; ++i) C[i] = requant.apply(acc[i]);
 }
 
-void conv_lowp_f32out(const float* image, const ConvGeometry& g,
-                      const quant::AffineParams& input_params,
-                      const uint8_t* weights,
-                      const quant::AffineParams& weight_params,
-                      int64_t out_channels, const float* bias, float* out) {
+namespace {
+
+/// Shared implementation of the unfused conv path over a packed weight
+/// view: quantize + im2col into arena scratch, one packed GEMM, f32 out.
+void conv_lowp_impl(const float* image, const ConvGeometry& g,
+                    const quant::AffineParams& input_params,
+                    const PackedLhsView& weights,
+                    const quant::AffineParams& weight_params,
+                    const float* bias, float* out) {
   // Same im2col vs. GEMM attribution as the float path (Table III).
   auto& registry = telemetry::MetricsRegistry::global();
   static telemetry::Histogram& im2col_hist =
@@ -80,32 +87,68 @@ void conv_lowp_f32out(const float* image, const ConvGeometry& g,
   static telemetry::Histogram& gemm_hist = registry.histogram("gemm.gemm_ms");
 
   const int64_t patch = g.patch_size(), n = g.num_patches();
-  // Quantize the image while arranging the multiplicand (paper §III-D):
-  // quantize once, then im2col over codes with the zero-point as padding.
-  std::vector<uint8_t> qimage(
-      static_cast<size_t>(g.in_channels * g.in_height * g.in_width));
-  std::vector<uint8_t> columns(static_cast<size_t>(patch * n));
+  const int64_t out_channels = weights.rows;
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  uint8_t* qimage =
+      arena.alloc<uint8_t>(g.in_channels * g.in_height * g.in_width);
+  uint8_t* columns = arena.alloc<uint8_t>(patch * n);
   {
+    // Quantize the image while arranging the multiplicand (paper §III-D):
+    // quantize once, then im2col over codes with the zero-point as padding.
     telemetry::ScopedTimer span(im2col_hist);
-    for (size_t i = 0; i < qimage.size(); ++i)
+    const int64_t pixels = g.in_channels * g.in_height * g.in_width;
+    for (int64_t i = 0; i < pixels; ++i)
       qimage[i] = input_params.quantize(image[i]);
-    im2col(qimage.data(), g, columns.data(),
-           static_cast<uint8_t>(input_params.zero_point));
+    im2col(qimage, g, columns, static_cast<uint8_t>(input_params.zero_point));
   }
 
   telemetry::ScopedTimer span(gemm_hist);
-  std::vector<int32_t> acc(static_cast<size_t>(n));
+  int32_t* acc = arena.alloc<int32_t>(out_channels * n);
+  gemm_lowp_packed(weights, columns, input_params.zero_point, n, acc);
   const float real_scale = input_params.scale * weight_params.scale;
   for (int64_t m = 0; m < out_channels; ++m) {
-    gemm_lowp_i32(1, n, patch, weights + m * patch, weight_params.zero_point,
-                  columns.data(), input_params.zero_point, acc.data());
     const float b = bias ? bias[m] : 0.0f;
     for (int64_t j = 0; j < n; ++j)
-      out[m * n + j] = real_scale * static_cast<float>(acc[j]) + b;
+      out[m * n + j] = real_scale * static_cast<float>(acc[m * n + j]) + b;
   }
 }
 
-namespace {
+}  // namespace
+
+void conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                      const quant::AffineParams& input_params,
+                      const PackedLhsView& weights,
+                      const quant::AffineParams& weight_params,
+                      const float* bias, float* out) {
+  conv_lowp_impl(image, g, input_params, weights, weight_params, bias, out);
+}
+
+void conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                      const quant::AffineParams& input_params,
+                      const uint8_t* weights,
+                      const quant::AffineParams& weight_params,
+                      int64_t out_channels, const float* bias, float* out) {
+  static telemetry::Histogram& pack_hist =
+      telemetry::MetricsRegistry::global().histogram("gemm.pack_ms");
+  const int64_t patch = g.patch_size();
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  uint8_t* panels = arena.alloc<uint8_t>(packed_lhs_bytes(out_channels, patch));
+  int32_t* row_sums = arena.alloc<int32_t>(out_channels);
+  {
+    telemetry::ScopedTimer span(pack_hist);
+    pack_lhs_into(weights, out_channels, patch, weight_params.zero_point,
+                  panels, row_sums);
+  }
+  PackedLhsView view;
+  view.data = panels;
+  view.row_sums = row_sums;
+  view.rows = out_channels;
+  view.depth = patch;
+  view.zero_point = weight_params.zero_point;
+  conv_lowp_impl(image, g, input_params, view, weight_params, bias, out);
+}
 
 void im2col_strip_u8(const uint8_t* image, const ConvGeometry& g,
                      int64_t col0, int64_t width, uint8_t pad_value,
@@ -117,22 +160,160 @@ void im2col_strip_u8(const uint8_t* image, const ConvGeometry& g,
     for (int64_t kh = 0; kh < g.kernel; ++kh) {
       for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
         uint8_t* out_row = strip + row * width;
+        // One div/mod per strip row; the patch walk is incremental.
+        int64_t ow = col0 % out_w;
+        int64_t ih = (col0 / out_w) * g.stride - g.pad + kh;
+        int64_t iw = ow * g.stride - g.pad + kw;
         for (int64_t j = 0; j < width; ++j) {
-          const int64_t patch = col0 + j;
-          const int64_t oh = patch / out_w, ow = patch % out_w;
-          const int64_t ih = oh * g.stride - g.pad + kh;
-          const int64_t iw = ow * g.stride - g.pad + kw;
           out_row[j] = (ih < 0 || ih >= g.in_height || iw < 0 ||
                         iw >= g.in_width)
                            ? pad_value
                            : plane[ih * g.in_width + iw];
+          iw += g.stride;
+          if (++ow == out_w) {
+            ow = 0;
+            iw = kw - g.pad;
+            ih += g.stride;
+          }
         }
       }
     }
   }
 }
 
+namespace {
+
+/// Strip im2col straight into a packed K×kNr RHS panel (row stride kNr,
+/// zero-point padding past `width`, per-column sums) — the fused path's
+/// "quantize while arranging the multiplicand" without an intermediate
+/// column matrix.
+void im2col_panel_u8(const uint8_t* image, const ConvGeometry& g,
+                     int64_t col0, int64_t width, uint8_t pad_value,
+                     uint8_t* panel, int32_t* col_sums) {
+  const int64_t out_w = g.out_width();
+  for (int64_t j = 0; j < kNr; ++j) col_sums[j] = 0;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    const uint8_t* plane = image + c * g.in_height * g.in_width;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        uint8_t* out_row = panel + row * kNr;
+        int64_t ow = col0 % out_w;
+        int64_t ih = (col0 / out_w) * g.stride - g.pad + kh;
+        int64_t iw = ow * g.stride - g.pad + kw;
+        for (int64_t j = 0; j < width; ++j) {
+          const uint8_t v = (ih < 0 || ih >= g.in_height || iw < 0 ||
+                             iw >= g.in_width)
+                                ? pad_value
+                                : plane[ih * g.in_width + iw];
+          out_row[j] = v;
+          col_sums[j] += v;
+          iw += g.stride;
+          if (++ow == out_w) {
+            ow = 0;
+            iw = kw - g.pad;
+            ih += g.stride;
+          }
+        }
+        for (int64_t j = width; j < kNr; ++j) {
+          out_row[j] = pad_value;
+          col_sums[j] += pad_value;
+        }
+      }
+    }
+  }
+}
+
+/// parallel_for context of the fused conv path: shards of column panels,
+/// each im2col'd and multiplied in the worker's own arena.
+struct FusedShardCtx {
+  const uint8_t* qimage;
+  const ConvGeometry* g;
+  PackedLhsView weights;
+  int32_t input_zero;
+  uint8_t pad;
+  float real_scale;
+  const float* bias;
+  float* out;
+  int64_t n;
+};
+
+void run_fused_shard(int64_t lo, int64_t hi, void* p) {
+  auto& ctx = *static_cast<FusedShardCtx*>(p);
+  const int64_t patch = ctx.weights.depth;
+  const int64_t out_channels = ctx.weights.rows;
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  uint8_t* panel = arena.alloc<uint8_t>(patch * kNr);
+  int32_t* acc = arena.alloc<int32_t>(out_channels * kNr);
+  for (int64_t pi = lo; pi < hi; ++pi) {
+    const int64_t col0 = pi * kNr;
+    const int64_t width = std::min<int64_t>(kNr, ctx.n - col0);
+    int32_t col_sums[kNr];
+    im2col_panel_u8(ctx.qimage, *ctx.g, col0, width, ctx.pad, panel, col_sums);
+    gemm_lowp_packed_panel(ctx.weights, panel, col_sums, 0, width, width,
+                           ctx.input_zero, Accumulator::kI32, acc);
+    for (int64_t m = 0; m < out_channels; ++m) {
+      const float b = ctx.bias ? ctx.bias[m] : 0.0f;
+      for (int64_t j = 0; j < width; ++j)
+        ctx.out[m * ctx.n + col0 + j] =
+            ctx.real_scale * static_cast<float>(acc[m * width + j]) + b;
+    }
+  }
+}
+
+void fused_conv_lowp_impl(const float* image, const ConvGeometry& g,
+                          const quant::AffineParams& input_params,
+                          const PackedLhsView& weights,
+                          const quant::AffineParams& weight_params,
+                          const float* bias, float* out) {
+  // The fused path has no separable im2col stage; one span covers it.
+  auto& registry = telemetry::MetricsRegistry::global();
+  static telemetry::Histogram& fused_hist = registry.histogram("gemm.fused_ms");
+  static telemetry::Gauge& threads_gauge = registry.gauge("gemm.threads");
+  telemetry::ScopedTimer timer(fused_hist);
+
+  const int64_t patch = g.patch_size(), n = g.num_patches();
+  const int64_t out_channels = weights.rows;
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  const int64_t pixels = g.in_channels * g.in_height * g.in_width;
+  uint8_t* qimage = arena.alloc<uint8_t>(pixels);
+  for (int64_t i = 0; i < pixels; ++i)
+    qimage[i] = input_params.quantize(image[i]);
+
+  FusedShardCtx ctx{qimage,
+                    &g,
+                    weights,
+                    input_params.zero_point,
+                    static_cast<uint8_t>(input_params.zero_point),
+                    input_params.scale * weight_params.scale,
+                    bias,
+                    out,
+                    n};
+  core::ThreadPool& pool = core::ThreadPool::shared();
+  const int64_t num_panels = (n + kNr - 1) / kNr;
+  const int64_t total_ops = 2 * out_channels * n * patch;
+  int64_t shards = 1;
+  constexpr int64_t kMinOpsPerShard = int64_t{1} << 18;
+  if (pool.threads() > 1 && total_ops >= 2 * kMinOpsPerShard)
+    shards = std::min<int64_t>(pool.threads(), total_ops / kMinOpsPerShard);
+  threads_gauge.set(static_cast<double>(shards));
+  const int64_t chunks =
+      shards == 1 ? 1 : std::min<int64_t>(num_panels, shards * 4);
+  pool.parallel_for(0, num_panels, chunks, run_fused_shard, &ctx);
+}
+
 }  // namespace
+
+void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                            const quant::AffineParams& input_params,
+                            const PackedLhsView& weights,
+                            const quant::AffineParams& weight_params,
+                            const float* bias, float* out) {
+  fused_conv_lowp_impl(image, g, input_params, weights, weight_params, bias,
+                       out);
+}
 
 void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
                             const quant::AffineParams& input_params,
@@ -140,36 +321,25 @@ void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
                             const quant::AffineParams& weight_params,
                             int64_t out_channels, const float* bias,
                             float* out) {
-  // The fused path has no separable im2col stage; one span covers it.
-  static telemetry::Histogram& fused_hist =
-      telemetry::MetricsRegistry::global().histogram("gemm.fused_ms");
-  telemetry::ScopedTimer timer(fused_hist);
-
-  constexpr int64_t kStrip = 8;  // eight 16-bit lanes, as on NEON
-  const int64_t patch = g.patch_size(), n = g.num_patches();
-  std::vector<uint8_t> qimage(
-      static_cast<size_t>(g.in_channels * g.in_height * g.in_width));
-  for (size_t i = 0; i < qimage.size(); ++i)
-    qimage[i] = input_params.quantize(image[i]);
-
-  std::vector<uint8_t> strip(static_cast<size_t>(patch * kStrip));
-  std::vector<int32_t> acc(static_cast<size_t>(kStrip));
-  const float real_scale = input_params.scale * weight_params.scale;
-  const auto pad = static_cast<uint8_t>(input_params.zero_point);
-
-  for (int64_t col0 = 0; col0 < n; col0 += kStrip) {
-    const int64_t width = std::min<int64_t>(kStrip, n - col0);
-    im2col_strip_u8(qimage.data(), g, col0, width, pad, strip.data());
-    for (int64_t m = 0; m < out_channels; ++m) {
-      gemm_lowp_i32(1, width, patch, weights + m * patch,
-                    weight_params.zero_point, strip.data(),
-                    input_params.zero_point, acc.data());
-      const float b = bias ? bias[m] : 0.0f;
-      for (int64_t j = 0; j < width; ++j)
-        out[m * n + col0 + j] =
-            real_scale * static_cast<float>(acc[static_cast<size_t>(j)]) + b;
-    }
+  static telemetry::Histogram& pack_hist =
+      telemetry::MetricsRegistry::global().histogram("gemm.pack_ms");
+  const int64_t patch = g.patch_size();
+  auto& arena = thread_arena();
+  ScratchScope scope(arena);
+  uint8_t* panels = arena.alloc<uint8_t>(packed_lhs_bytes(out_channels, patch));
+  int32_t* row_sums = arena.alloc<int32_t>(out_channels);
+  {
+    telemetry::ScopedTimer span(pack_hist);
+    pack_lhs_into(weights, out_channels, patch, weight_params.zero_point,
+                  panels, row_sums);
   }
+  PackedLhsView view;
+  view.data = panels;
+  view.row_sums = row_sums;
+  view.rows = out_channels;
+  view.depth = patch;
+  view.zero_point = weight_params.zero_point;
+  fused_conv_lowp_impl(image, g, input_params, view, weight_params, bias, out);
 }
 
 }  // namespace tincy::gemm

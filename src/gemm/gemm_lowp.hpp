@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/tensor.hpp"
+#include "gemm/gemm_packed.hpp"
 #include "gemm/im2col.hpp"
 #include "quant/affine.hpp"
 
@@ -44,6 +45,15 @@ void conv_lowp_f32out(const float* image, const ConvGeometry& g,
                       const quant::AffineParams& weight_params,
                       int64_t out_channels, const float* bias, float* out);
 
+/// Overload running against a weight matrix already packed with pack_lhs
+/// (the per-layer cached form; skips the per-call packing cost). The
+/// packed zero_point must be weight_params.zero_point.
+void conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                      const quant::AffineParams& input_params,
+                      const PackedLhsView& weights,
+                      const quant::AffineParams& weight_params,
+                      const float* bias, float* out);
+
 /// Fused sliced variant of conv_lowp_f32out (strip im2col, immediate GEMM).
 void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
                             const quant::AffineParams& input_params,
@@ -51,5 +61,20 @@ void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
                             const quant::AffineParams& weight_params,
                             int64_t out_channels, const float* bias,
                             float* out);
+
+/// Packed-weight overload of the fused path.
+void fused_conv_lowp_f32out(const float* image, const ConvGeometry& g,
+                            const quant::AffineParams& input_params,
+                            const PackedLhsView& weights,
+                            const quant::AffineParams& weight_params,
+                            const float* bias, float* out);
+
+/// Strip im2col over uint8 codes: writes rows [0, patch_size) of columns
+/// [col0, col0+width) of the full column matrix, rows contiguous with
+/// stride `width`. Iterates (oh, ow) incrementally — no div/mod per
+/// element. Exposed for the fused path's tests.
+void im2col_strip_u8(const uint8_t* image, const ConvGeometry& g,
+                     int64_t col0, int64_t width, uint8_t pad_value,
+                     uint8_t* strip);
 
 }  // namespace tincy::gemm

@@ -1,0 +1,59 @@
+#include "gemm/scratch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+namespace tincy::gemm {
+
+namespace {
+
+constexpr size_t kAlignment = 64;
+constexpr size_t kMinBlockBytes = size_t{1} << 16;  // 64 KiB floor
+
+size_t align_up(size_t n) {
+  return (n + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  for (auto& b : blocks_) ::operator delete(b.data, std::align_val_t{kAlignment});
+}
+
+size_t Arena::capacity() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+void* Arena::alloc_bytes(size_t bytes) {
+  bytes = align_up(std::max<size_t>(bytes, 1));
+  // Advance through retained blocks until one fits; the vector of blocks
+  // only changes when a frame larger than any before arrives.
+  while (block_ < blocks_.size() && offset_ + bytes > blocks_[block_].size) {
+    ++block_;
+    offset_ = 0;
+  }
+  if (block_ == blocks_.size()) {
+    const size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const size_t size = std::max({bytes, kMinBlockBytes, prev * 2});
+    Block b;
+    b.data = static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kAlignment}));
+    b.size = size;
+    blocks_.push_back(b);
+    offset_ = 0;
+    ++heap_allocations_;
+  }
+  void* p = blocks_[block_].data + offset_;
+  offset_ += bytes;
+  return p;
+}
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace tincy::gemm

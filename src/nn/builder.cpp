@@ -56,6 +56,7 @@ LayerPtr make_connected(const Section& s, Shape in_shape) {
   cfg.in_scale = static_cast<float>(s.get_double("in_scale", 1.0));
   cfg.out_scale = static_cast<float>(s.get_double("out_scale", 1.0));
   cfg.bipolar = s.get_int("bipolar", 0) != 0;
+  cfg.lowp = s.get_int("lowp", 0) != 0;
   return std::make_unique<ConnectedLayer>(cfg, in_shape);
 }
 

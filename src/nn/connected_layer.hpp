@@ -6,8 +6,12 @@
 /// and quantized-activation labelling as the convolutional layer so the
 /// ops accounting buckets its work correctly.
 
+#include <optional>
+
+#include "gemm/gemm_packed.hpp"
 #include "nn/activation.hpp"
 #include "nn/layer.hpp"
+#include "quant/affine.hpp"
 
 namespace tincy::nn {
 
@@ -20,6 +24,10 @@ struct ConnectedConfig {
   float out_scale = 1.0f;
   /// ±scale activations (W1A1); requires act_bits == 1, linear activation.
   bool bipolar = false;
+  /// cfg `lowp=1`: run the forward pass through the 8-bit packed GEMM
+  /// engine (gemmlowp-style affine weights, per-frame input calibration)
+  /// instead of float dot products. Ignored for binary_weights layers.
+  bool lowp = false;
 };
 
 class ConnectedLayer final : public Layer {
@@ -41,11 +49,21 @@ class ConnectedLayer final : public Layer {
   const Tensor& biases() const { return biases_; }
   int64_t inputs() const { return inputs_; }
 
+  /// Invalidate derived weight caches after mutating weights.
+  void invalidate_cached_quantization();
+
  private:
+  void forward_lowp(const Tensor& in, Tensor& out);
+
   ConnectedConfig cfg_;
   int64_t inputs_ = 0;
   Tensor weights_;  // outputs × inputs
   Tensor biases_;   // outputs
+
+  // Lazy caches of the lowp path's derived weight forms (quantized codes
+  // and the GEMM engine's packed panels), built once per weight mutation.
+  mutable std::optional<quant::AffineParams> lowp_params_;
+  mutable std::optional<gemm::PackedLhs> packed_lowp_;
 };
 
 }  // namespace tincy::nn

@@ -47,6 +47,7 @@ void ConvLayer::invalidate_cached_quantization() {
   threshold_cache_.reset();
   lowp_codes_.reset();
   lowp_params_.reset();
+  packed_lowp_.reset();
   sym_weight_cache_.reset();
 }
 
@@ -180,11 +181,19 @@ void ConvLayer::forward_lowp(const Tensor& in, Tensor& out, ConvKernel k) {
         const auto [wlo, whi] = quant::min_max(weights_);
         lowp_params_ = quant::choose_affine_params(wlo, whi);
         lowp_codes_ = quant::quantize(weights_, *lowp_params_);
+        // Pack/compute split: the GEMM engine's weight panels are derived
+        // once here and reused by every subsequent frame.
+        packed_lowp_ = gemm::pack_lhs(lowp_codes_->data(), cfg_.filters,
+                                      geom_.patch_size(),
+                                      lowp_params_->zero_point);
       }
-      auto fn = (k == ConvKernel::kLowp) ? gemm::conv_lowp_f32out
-                                         : gemm::fused_conv_lowp_f32out;
-      fn(in.data(), geom_, in_params, lowp_codes_->data(), *lowp_params_,
-         cfg_.filters, nullptr, out.data());
+      if (k == ConvKernel::kLowp)
+        gemm::conv_lowp_f32out(in.data(), geom_, in_params, *packed_lowp_,
+                               *lowp_params_, nullptr, out.data());
+      else
+        gemm::fused_conv_lowp_f32out(in.data(), geom_, in_params,
+                                     *packed_lowp_, *lowp_params_, nullptr,
+                                     out.data());
       break;
     }
     case ConvKernel::kFirstLayerAcc32:

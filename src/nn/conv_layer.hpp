@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gemm/first_layer.hpp"
+#include "gemm/gemm_packed.hpp"
 #include "gemm/im2col.hpp"
 #include "nn/activation.hpp"
 #include "nn/layer.hpp"
@@ -128,6 +129,9 @@ class ConvLayer final : public Layer {
   mutable std::optional<std::vector<ChannelThresholds>> threshold_cache_;
   mutable std::optional<TensorU8> lowp_codes_;
   mutable std::optional<quant::AffineParams> lowp_params_;
+  /// Weight panels pre-packed for the GEMM engine (pack/compute split:
+  /// packed once per weight mutation, reused every frame).
+  mutable std::optional<gemm::PackedLhs> packed_lowp_;
   mutable std::optional<gemm::SymmetricWeights> sym_weight_cache_;
 };
 

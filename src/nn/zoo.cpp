@@ -178,6 +178,7 @@ void randomize(Network& net, Rng& rng) {
       for (int64_t j = 0; j < w.numel(); ++j) w[j] = rng.normal(0.0f, stddev);
       for (int64_t o = 0; o < fc->biases().numel(); ++o)
         fc->biases()[o] = rng.normal(0.0f, 0.05f);
+      fc->invalidate_cached_quantization();
     }
   }
 }

@@ -58,8 +58,18 @@ using I32x4 = Vec<int32_t, 4>;
 using I16x8 = Vec<int16_t, 8>;
 using I8x16 = Vec<int8_t, 16>;
 using U8x16 = Vec<uint8_t, 16>;
+using U16x8 = Vec<uint16_t, 8>;
+using U32x4 = Vec<uint32_t, 4>;
 using I8x8 = Vec<int8_t, 8>;    // 64-bit D-register view feeding VMULL.
 using I16x4 = Vec<int16_t, 4>;  // 64-bit D-register view feeding VMULL.
+using U8x8 = Vec<uint8_t, 8>;   // 64-bit D-register view feeding VMULL.U8.
+
+// Register *blocks* used by the packed GEMM micro-kernel: one block spans
+// several NEON Q registers (U32x16 = 4 × q-registers of u32 lanes, I16x16 =
+// 2 × q-registers of i16 lanes) so a 4×16 output tile lives entirely in
+// registers. The lane loops below still model per-register NEON ops.
+using U32x16 = Vec<uint32_t, 16>;
+using I16x16 = Vec<int16_t, 16>;
 
 /// Lane-wise addition (VADD).
 template <typename T, int N>
@@ -122,6 +132,41 @@ inline I32x4 widening_mul(I16x4 a, I16x4 b) {
   I32x4 r;
   for (int i = 0; i < 4; ++i)
     r.lane[i] = static_cast<int32_t>(a.lane[i]) * static_cast<int32_t>(b.lane[i]);
+  return r;
+}
+
+/// Widening multiply of unsigned 8-bit D-registers: u8x8 * u8x8 -> u16x8
+/// (VMULL.U8). Products of two unsigned 8-bit values always fit in 16 bits.
+inline U16x8 widening_mul(U8x8 a, U8x8 b) {
+  U16x8 r;
+  for (int i = 0; i < 8; ++i)
+    r.lane[i] = static_cast<uint16_t>(static_cast<uint16_t>(a.lane[i]) *
+                                      static_cast<uint16_t>(b.lane[i]));
+  return r;
+}
+
+/// Widening multiply-accumulate of a u8 register block by a broadcast u8
+/// scalar: acc_u32[j] += u16(s * b[j]). Models the VDUP.8 + VMULL.U8 +
+/// VADDW.U16 sequence the gemmlowp NEON kernels issue per packed LHS byte
+/// (two VMULL/VADDW pairs per 16-lane block half). The u8×u8 product is
+/// exact in u16; the u32 accumulate is exact for any practical K.
+inline U32x16 widening_mla(U32x16 acc, U8x16 b, uint8_t s) {
+  for (int i = 0; i < 16; ++i)
+    acc.lane[i] += static_cast<uint32_t>(
+        static_cast<uint16_t>(static_cast<uint16_t>(s) *
+                              static_cast<uint16_t>(b.lane[i])));
+  return acc;
+}
+
+/// Lane-wise widening multiply of two u8 register blocks straight to u32
+/// lanes: r[i] = u32(u16(a[i] * b[i])). Models the VMULL.U8 (u8→u16) +
+/// VMOVL.U16 widening pair per block half; exact for all inputs.
+inline U32x16 widening_mul_u16_to_u32(U8x16 a, U8x16 b) {
+  U32x16 r;
+  for (int i = 0; i < 16; ++i)
+    r.lane[i] = static_cast<uint32_t>(
+        static_cast<uint16_t>(static_cast<uint16_t>(a.lane[i]) *
+                              static_cast<uint16_t>(b.lane[i])));
   return r;
 }
 

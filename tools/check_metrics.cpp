@@ -42,11 +42,13 @@ int main(int argc, char** argv) {
   }
   int64_t expect_frames = -1;
   int64_t expect_serve_frames = -1;
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--frames") == 0)
+  bool expect_gemm = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       expect_frames = std::atoll(argv[i + 1]);
-    if (std::strcmp(argv[i], "--serve-frames") == 0)
+    if (std::strcmp(argv[i], "--serve-frames") == 0 && i + 1 < argc)
       expect_serve_frames = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--gemm") == 0) expect_gemm = true;
   }
 
   std::ifstream f(argv[1]);
@@ -108,6 +110,21 @@ int main(int argc, char** argv) {
                 static_cast<long long>(sessions),
                 static_cast<long long>(frames_sum));
     return 0;
+  }
+
+  // GEMM-engine surface: the packed lowp path must have reported its
+  // pack/compute split and parallelism (see docs/observability.md).
+  if (expect_gemm) {
+    const auto* pack = snapshot.find_histogram("gemm.pack_ms");
+    if (!pack) return fail("gemm.pack_ms missing");
+    if (pack->stats.count < 1) return fail("gemm.pack_ms: no pack spans");
+    const auto* packed = snapshot.find_histogram("gemm.packed_ms");
+    if (!packed) return fail("gemm.packed_ms missing");
+    if (packed->stats.count < 1) return fail("gemm.packed_ms: no spans");
+    if (!snapshot.find_gauge("gemm.threads"))
+      return fail("gemm.threads missing");
+    if (snapshot.gauge_value("gemm.threads") < 1.0)
+      return fail("gemm.threads < 1");
   }
 
   // Per-layer latency histograms from the disintegrated forward pass.

@@ -142,9 +142,12 @@ int cmd_detect(int argc, char** argv) {
 int cmd_demo(int argc, char** argv) {
   const int64_t frames = argc > 0 ? std::atoll(argv[0]) : 64;
   const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  // kOptimized exercises the paper's full CPU story — acc16 first layer
+  // plus the packed lowp GEMM engine on the output layer — so the demo's
+  // --metrics-json carries the gemm.* observability surface.
   auto net = nn::zoo::build(nn::zoo::tiny_yolo_cfg(
       nn::zoo::TinyVariant::kTincy, nn::zoo::QuantMode::kFloat, 64,
-      nn::zoo::CpuProfile::kFused));
+      nn::zoo::CpuProfile::kOptimized));
   Rng rng(3);
   nn::zoo::randomize(*net, rng);
   video::SyntheticCamera camera({.width = 128, .height = 96, .seed = 17});
