@@ -1,35 +1,55 @@
-// Multi-stream serving throughput over the shared fabric engine.
+// Multi-stream serving throughput AND production soak over the shared
+// fabric engine.
 //
-// Sweeps 1..8 concurrent streams through a StreamServer whose sessions
-// model the paper's deployment timing: two CPU-bound stages around one
-// engine-bound stage. Stage "work" is a timed sleep, so the sweep
-// measures the *scheduler* — single-slot stage serialization within a
-// stream, engine exclusivity across streams — independently of host core
-// count (the CI host may have a single core).
+// Default mode sweeps 1..8 concurrent streams through a StreamServer
+// whose sessions model the paper's deployment timing: two CPU-bound
+// stages around one engine-bound stage. Stage "work" is a timed sleep,
+// so the sweep measures the *scheduler* — single-slot stage serialization
+// within a stream, engine exclusivity across streams — independently of
+// host core count (the CI host may have a single core). The acceptance
+// gate (tier2-serve) is aggregate throughput at 4 streams >= 2x the
+// single-stream throughput.
 //
-// Expectation: a single stream is gated by its slowest stage (the
-// single-slot buffers forbid two frames inside one stage), so N streams
-// scale aggregate throughput nearly linearly while the arbiter keeps the
-// engine granted to one session at a time — until the engine itself
-// saturates. The acceptance gate (tier2-serve) is aggregate throughput
-// at 4 streams >= 2x the single-stream throughput.
+// --soak mode is the production-hardening harness: ~1k short-lived
+// sessions churn through the server (join/leave mid-stream, bursty
+// submission, random stalls, a handful of poisoned sessions whose stages
+// throw), while the harness asserts
+//   * strictly in-order delivery per session,
+//   * exact frame accounting (delivered + shed + dropped == accepted),
+//   * fault isolation (exactly the poisoned sessions quarantine,
+//     everything else keeps flowing),
+//   * submit-after-close answers kClosed, submit-after-fault answers
+//     kQuarantined,
+//   * bounded tail latency (p99 of every session under --p99-ms).
+// The schedule is fully deterministic from --seed. On an SLO violation
+// the offending session's telemetry summary is printed.
+//
+//   multistream --soak [--sessions N] [--concurrent N] [--seed S]
+//               [--faults N] [--p99-ms X] [--metrics-json PATH]
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "serve/server.hpp"
+#include "telemetry/export.hpp"
 #include "video/frame.hpp"
 
 using namespace tincy;
 
 namespace {
-
-constexpr double kCpuStageMs = 4.0;
-constexpr double kEngineStageMs = 1.0;
-constexpr int64_t kFramesPerStream = 48;
 
 serve::ServeStage sleep_stage(const std::string& name, double ms,
                               bool engine) {
@@ -38,9 +58,15 @@ serve::ServeStage sleep_stage(const std::string& name, double ms,
           engine};
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Sweep mode (the original tier2-serve throughput gate).
+// ---------------------------------------------------------------------------
 
-int main() {
+constexpr double kCpuStageMs = 4.0;
+constexpr double kEngineStageMs = 1.0;
+constexpr int64_t kFramesPerStream = 48;
+
+int run_sweep() {
   std::printf("multi-stream serving sweep (%.0f ms CPU stages, %.0f ms "
               "engine stage, %lld frames/stream)\n",
               kCpuStageMs, kEngineStageMs,
@@ -114,4 +140,338 @@ int main() {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Soak mode.
+// ---------------------------------------------------------------------------
+
+struct SoakConfig {
+  int64_t sessions = 1000;   ///< total sessions churned through the run
+  int64_t concurrent = 12;   ///< live sessions at any instant
+  uint64_t seed = 2018;      ///< schedule seed (fully deterministic)
+  int64_t faults = 20;       ///< poisoned sessions (stage throws)
+  double p99_ms = 150.0;     ///< per-session p99 latency SLO
+  std::string metrics_json;  ///< optional snapshot dump for check_metrics
+};
+
+/// Shared with the server's worker threads through the deliver hook;
+/// deliveries of one session never run concurrently, the harness thread
+/// reads only after drain, so relaxed atomics suffice.
+struct DeliveryProbe {
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> last_seq{-1};
+  std::atomic<int64_t> order_violations{0};
+};
+
+struct StreamRecord {
+  int64_t id = -1;
+  std::string name;
+  int64_t budget = 0;  ///< frames to submit before closing mid-stream
+  int64_t accepted = 0;
+  int64_t next_seq = 0;
+  bool poisoned = false;
+  bool finished = false;
+  std::shared_ptr<DeliveryProbe> probe;
+};
+
+/// Stage sleep with deterministic per-frame jitter plus a rare long stall
+/// — both derived from the frame sequence, so the schedule replays from
+/// the seed without any shared mutable state in the stage closure.
+serve::ServeStage jitter_stage(const std::string& name, int64_t base_us,
+                               int64_t jitter_us, bool engine) {
+  return {name,
+          [base_us, jitter_us](video::Frame& f) {
+            const uint64_t h =
+                static_cast<uint64_t>(f.sequence) * 0x9E3779B97F4A7C15ull;
+            int64_t us = base_us + static_cast<int64_t>(
+                                       h % static_cast<uint64_t>(jitter_us));
+            if (f.sequence % 89 == 13) us += 1000;  // random-ish stall
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+          },
+          engine};
+}
+
+/// Poisoned final stage: the n-th execution throws, which must quarantine
+/// this session only.
+serve::ServeStage poison_stage(const std::string& session_name,
+                               int64_t fault_at) {
+  auto execs = std::make_shared<std::atomic<int64_t>>(0);
+  return {"post",
+          [execs, session_name, fault_at](video::Frame&) {
+            if (execs->fetch_add(1) + 1 == fault_at)
+              throw std::runtime_error("injected fault in session " +
+                                       session_name);
+            std::this_thread::sleep_for(std::chrono::microseconds(120));
+          },
+          false};
+}
+
+int run_soak(const SoakConfig& cfg) {
+  std::printf("soak: %" PRId64 " sessions (%" PRId64 " concurrent, %" PRId64
+              " poisoned), seed %llu, p99 SLO %.1f ms\n",
+              cfg.sessions, cfg.concurrent, cfg.faults,
+              static_cast<unsigned long long>(cfg.seed), cfg.p99_ms);
+
+  Rng rng(cfg.seed);
+  telemetry::MetricsRegistry registry;
+  serve::ServerOptions opts;
+  opts.num_workers = 4;
+  opts.overload_policy = serve::OverloadPolicy::kShedOldest;
+  opts.metrics = &registry;
+  serve::StreamServer server(opts);
+
+  // Spread the poisoned sessions evenly across the run.
+  const int64_t stride =
+      cfg.faults > 0 ? std::max<int64_t>(1, cfg.sessions / cfg.faults) : 0;
+  auto is_poisoned = [&](int64_t i) {
+    return cfg.faults > 0 && i % stride == stride / 2 &&
+           i / stride < cfg.faults;
+  };
+
+  std::vector<StreamRecord> records(static_cast<size_t>(cfg.sessions));
+  int64_t violations = 0;
+  auto violation = [&](const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "soak violation: %s\n", what.c_str());
+  };
+
+  auto open_stream = [&](int64_t i) {
+    StreamRecord& r = records[static_cast<size_t>(i)];
+    r.name = "soak" + std::to_string(i);
+    r.poisoned = is_poisoned(i);
+    // Poisoned streams never reach their budget: they run until the
+    // injected fault quarantines them.
+    r.budget = r.poisoned ? INT64_MAX / 2 : rng.uniform_int(6, 24);
+    r.probe = std::make_shared<DeliveryProbe>();
+    auto probe = r.probe;
+    serve::SessionConfig sc;
+    sc.name = r.name;
+    sc.weight = static_cast<int>(rng.uniform_int(1, 3));
+    sc.priority = rng.bernoulli(0.1) ? 1 : 0;  // a high-priority tier mix
+    sc.queue_capacity = 4;
+    sc.stages.push_back(jitter_stage("pre", 80, 120, false));
+    sc.stages.push_back(jitter_stage("engine", 60, 40, true));
+    if (r.poisoned)
+      sc.stages.push_back(poison_stage(r.name, /*fault_at=*/2));
+    else if (rng.bernoulli(0.8))
+      sc.stages.push_back(jitter_stage("post", 80, 120, false));
+    sc.deliver = [probe](video::Frame&& f) {
+      const int64_t prev = probe->last_seq.exchange(f.sequence);
+      if (f.sequence <= prev) probe->order_violations.fetch_add(1);
+      probe->delivered.fetch_add(1);
+    };
+    r.id = server.open_session(std::move(sc));
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::deque<int64_t> alive;
+  int64_t opened = 0;
+  int64_t finished = 0;
+  const int64_t initial = std::min(cfg.concurrent, cfg.sessions);
+  for (; opened < initial; ++opened) {
+    open_stream(opened);
+    alive.push_back(opened);
+  }
+  server.start();
+
+  while (finished < cfg.sessions) {
+    // Churn: keep the live set topped up — open_session on a running
+    // server is the join-mid-serve path.
+    while (static_cast<int64_t>(alive.size()) < cfg.concurrent &&
+           opened < cfg.sessions) {
+      open_stream(opened);
+      alive.push_back(opened);
+      ++opened;
+    }
+
+    for (auto it = alive.begin(); it != alive.end();) {
+      StreamRecord& r = records[static_cast<size_t>(*it)];
+
+      if (server.quarantined(r.id)) {
+        // Fault isolation probe: a poisoned session must answer
+        // kQuarantined from now on.
+        video::Frame f;
+        f.sequence = r.next_seq;
+        if (server.submit(r.id, std::move(f)) !=
+            serve::ServeResult::kQuarantined)
+          violation(r.name + ": submit after quarantine not kQuarantined");
+        if (!r.poisoned)
+          violation(r.name + ": healthy session got quarantined");
+        r.finished = true;
+        ++finished;
+        it = alive.erase(it);
+        continue;
+      }
+
+      if (r.accepted >= r.budget) {
+        // Leave mid-stream: frames may still be queued/in flight; the
+        // queued ones are dropped, in-flight ones deliver, and a
+        // further submit must answer kClosed.
+        server.close_session(r.id);
+        video::Frame f;
+        f.sequence = r.next_seq;
+        if (server.submit(r.id, std::move(f)) != serve::ServeResult::kClosed)
+          violation(r.name + ": submit after close not kClosed");
+        r.finished = true;
+        ++finished;
+        it = alive.erase(it);
+        continue;
+      }
+
+      // Bursty submission: mostly paced against the admission queue so
+      // frames actually flow, with occasional deliberate over-bursts
+      // that exercise the shed-oldest path.
+      const int64_t depth = server.queue_depth(r.id);
+      int64_t burst = rng.uniform_int(1, 4);
+      if (!rng.bernoulli(0.08))
+        burst = std::min(burst, std::max<int64_t>(0, 4 - depth));
+      for (int64_t b = 0; b < burst && r.accepted < r.budget; ++b) {
+        video::Frame f;
+        f.sequence = r.next_seq;
+        const auto res = server.submit(r.id, std::move(f));
+        if (res == serve::ServeResult::kAccepted) {
+          ++r.accepted;
+          ++r.next_seq;
+        } else if (res == serve::ServeResult::kQuarantined) {
+          break;  // handled at the top of the next sweep
+        } else {
+          // kShedOldest admits whenever the queue is non-empty, so
+          // neither kOverloaded nor kClosed is expected here.
+          violation(r.name + ": unexpected submit result " +
+                    std::to_string(static_cast<int>(res)));
+          break;
+        }
+      }
+      ++it;
+    }
+
+    // Random producer stalls let queues drain unevenly.
+    if (rng.bernoulli(0.2))
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.uniform_int(100, 600)));
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  server.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.stop();
+
+  // ---- Post-run assertions over the telemetry snapshot. -----------------
+  const auto snap = registry.snapshot();
+  int64_t total_delivered = 0, total_shed = 0, total_dropped = 0,
+          total_faults = 0, quarantined_count = 0;
+  double worst_p99 = 0.0;
+  for (const StreamRecord& r : records) {
+    const std::string prefix = "serve.session." + r.name + ".";
+    const int64_t frames = snap.counter_value(prefix + "frames");
+    const int64_t shed = snap.counter_value(prefix + "shed");
+    const int64_t dropped = snap.counter_value(prefix + "dropped");
+    const int64_t faults = snap.counter_value(prefix + "faults");
+    total_delivered += frames;
+    total_shed += shed;
+    total_dropped += dropped;
+    total_faults += faults;
+
+    if (r.probe->order_violations.load() != 0)
+      violation(r.name + ": " +
+                std::to_string(r.probe->order_violations.load()) +
+                " out-of-order deliveries");
+    if (r.probe->delivered.load() != frames)
+      violation(r.name + ": probe saw " +
+                std::to_string(r.probe->delivered.load()) +
+                " deliveries but frames counter says " +
+                std::to_string(frames));
+    if (frames + shed + dropped != r.accepted)
+      violation(r.name + ": accounting " + std::to_string(frames) + "+" +
+                std::to_string(shed) + "+" + std::to_string(dropped) +
+                " != accepted " + std::to_string(r.accepted));
+    const bool quarantined = server.quarantined(r.id);
+    if (quarantined) ++quarantined_count;
+    if (quarantined != r.poisoned)
+      violation(r.name + (r.poisoned ? ": poisoned but never quarantined"
+                                     : ": quarantined without poison"));
+    if (r.poisoned && faults < 1)
+      violation(r.name + ": poisoned but faults counter is 0");
+
+    const auto* h = snap.find_histogram(prefix + "latency_ms");
+    if (h != nullptr && h->stats.count > 0) {
+      worst_p99 = std::max(worst_p99, h->stats.p99);
+      if (h->stats.p99 > cfg.p99_ms) {
+        violation(r.name + ": p99 " + std::to_string(h->stats.p99) +
+                  " ms exceeds SLO " + std::to_string(cfg.p99_ms) + " ms");
+        std::fprintf(stderr,
+                     "  %s: count=%" PRId64
+                     " mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f ms\n",
+                     r.name.c_str(), h->stats.count, h->stats.mean(),
+                     h->stats.p50, h->stats.p95, h->stats.p99, h->stats.max);
+      }
+    }
+  }
+
+  if (!cfg.metrics_json.empty())
+    telemetry::write_json(snap, cfg.metrics_json);
+
+  std::printf("soak: %" PRId64 " sessions in %.2f s — delivered %" PRId64
+              ", shed %" PRId64 ", dropped %" PRId64 ", faults %" PRId64
+              ", quarantined %" PRId64 "\n",
+              cfg.sessions, elapsed_s, total_delivered, total_shed,
+              total_dropped, total_faults, quarantined_count);
+  std::printf("soak: worst session p99 %.2f ms (SLO %.1f ms), engine grants "
+              "%lld\n",
+              worst_p99, cfg.p99_ms,
+              static_cast<long long>(server.arbiter().grants()));
+  if (violations != 0) {
+    std::fprintf(stderr, "FAILED: %" PRId64 " soak violations\n", violations);
+    return 1;
+  }
+  std::printf("soak: PASS — in-order delivery, exact accounting, fault "
+              "isolation, p99 within SLO\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool soak = false;
+  SoakConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      cfg.sessions = std::atoll(need("--sessions"));
+    } else if (std::strcmp(argv[i], "--concurrent") == 0) {
+      cfg.concurrent = std::atoll(need("--concurrent"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = static_cast<uint64_t>(std::atoll(need("--seed")));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      cfg.faults = std::atoll(need("--faults"));
+    } else if (std::strcmp(argv[i], "--p99-ms") == 0) {
+      cfg.p99_ms = std::atof(need("--p99-ms"));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      cfg.metrics_json = need("--metrics-json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: multistream [--soak [--sessions N] "
+                   "[--concurrent N] [--seed S] [--faults N] [--p99-ms X] "
+                   "[--metrics-json PATH]]\n");
+      return 2;
+    }
+  }
+  if (!soak) return run_sweep();
+  if (cfg.sessions < 1 || cfg.concurrent < 1 || cfg.faults < 0 ||
+      cfg.faults > cfg.sessions || cfg.p99_ms <= 0.0) {
+    std::fprintf(stderr, "error: invalid soak configuration\n");
+    return 2;
+  }
+  return run_soak(cfg);
 }

@@ -321,6 +321,7 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
   const int64_t total_ops = 2 * M * N * K;
   int64_t shards = 1;
   if (opts.allow_threads && pool.threads() > 1 &&
+      total_ops >= opts.min_ops_to_thread &&
       total_ops >= 2 * opts.min_ops_per_shard)
     shards = std::min<int64_t>(pool.threads(),
                                total_ops / opts.min_ops_per_shard);
@@ -347,8 +348,11 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
     pool.parallel_for(0, blocks, chunks, run_gemv_shard, &ctx);
   } else if (num_panels > 1) {
     PanelShardCtx ctx{lhs, B, rhs_zero, N, C, acc};
+    // Fine-grained column-panel sharding: 8 chunks per shard keeps the
+    // tail balanced when panel costs vary (skinny-K panels are cheap, so
+    // coarse chunks leave whole shards idle at the end).
     const int64_t chunks =
-        shards == 1 ? 1 : std::min<int64_t>(num_panels, shards * 4);
+        shards == 1 ? 1 : std::min<int64_t>(num_panels, shards * 8);
     pool.parallel_for(0, num_panels, chunks, run_panel_shard, &ctx);
   } else {
     // GEMV shape: pack the single panel once, shard the row blocks.

@@ -123,6 +123,12 @@ struct GemmOptions {
   /// Minimum multiply-accumulates per shard; below it the call stays
   /// single-threaded (sharding a tiny GEMM costs more than it saves).
   int64_t min_ops_per_shard = int64_t{1} << 18;
+  /// Whole-call threading floor: below this many multiply-accumulates the
+  /// call never fans out, whatever the shard math says. Skinny shapes
+  /// (layer0's M=16, K=27) finish in well under a millisecond single
+  /// threaded, so waking workers costs more than the parallel section
+  /// saves — the measured cause of the layer0 threaded-gate miss.
+  int64_t min_ops_to_thread = int64_t{1} << 24;
 };
 
 /// Runs every row block of `lhs` against one packed K×kNr RHS panel (row

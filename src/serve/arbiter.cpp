@@ -19,12 +19,27 @@ double EngineArbiter::effective_vtime_locked(const SessionState& s) const {
   return std::max(s.vtime, vtime_floor_);
 }
 
-void EngineArbiter::add_session(int64_t session, int weight) {
+void EngineArbiter::add_session(int64_t session, int weight, int priority) {
   TINCY_CHECK_MSG(weight >= 1, "session " << session << " weight " << weight);
+  TINCY_CHECK_MSG(priority >= 0,
+                  "session " << session << " priority " << priority);
   std::lock_guard lock(mutex_);
   TINCY_CHECK_MSG(!sessions_.contains(session),
                   "session " << session << " already registered");
-  sessions_[session] = SessionState{weight, vtime_floor_, false};
+  sessions_[session] = SessionState{weight, priority, vtime_floor_, false};
+}
+
+void EngineArbiter::remove_session(int64_t session) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  TINCY_CHECK_MSG(holder_ != session,
+                  "remove_session(" << session << ") while holding the engine");
+  if (it->second.pending) {
+    --pending_count_;
+    queue_depth_gauge_->set(static_cast<double>(pending_count_));
+  }
+  sessions_.erase(it);
 }
 
 bool EngineArbiter::try_acquire(int64_t session) {
@@ -44,12 +59,15 @@ bool EngineArbiter::try_acquire(int64_t session) {
 
   if (holder_ >= 0) return refuse();
 
-  // The engine is free: yield to any pending session with a smaller
-  // virtual time (or an equal one and a smaller id) — it asked first
-  // under the round-robin discipline and a worker will claim it next.
+  // The engine is free: yield to any pending session with a stronger
+  // claim — a higher priority tier, or the same tier and a smaller
+  // virtual time (or an equal one and a smaller id): it asked first under
+  // the round-robin discipline and a worker will claim it next.
   const double mine_vt = effective_vtime_locked(mine);
   for (const auto& [id, other] : sessions_) {
     if (id == session || !other.pending) continue;
+    if (other.priority > mine.priority) return refuse();
+    if (other.priority < mine.priority) continue;
     const double other_vt = effective_vtime_locked(other);
     if (other_vt < mine_vt || (other_vt == mine_vt && id < session))
       return refuse();

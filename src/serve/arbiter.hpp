@@ -6,12 +6,22 @@
 /// The resource model admits exactly one generalized conv+pool engine on
 /// the XCZU3EG (docs/ARCHITECTURE.md §4), so a serving deployment with N
 /// concurrent streams must time-share it. The EngineArbiter decides
-/// *which stream* owns the engine next using weighted round-robin in
-/// deficit style: every grant advances the holder's virtual time by
-/// 1/weight, and a free engine goes to the pending session with the
-/// smallest virtual time (ties to the lower session id). A session with
-/// weight 2 therefore receives twice the grants of a weight-1 session
-/// under saturation, and no pending session starves.
+/// *which stream* owns the engine next in two steps:
+///
+///  1. **Priority tier** — every session carries an integer priority;
+///     among contenders, a higher tier always beats a lower one. Tiers
+///     are strict: a saturating high tier starves lower tiers by design
+///     (the overload policy in ServerOptions is the pressure valve).
+///  2. **Weighted round-robin in deficit style within a tier** — every
+///     grant advances the holder's virtual time by 1/weight, and a free
+///     engine goes to the pending session with the smallest virtual time
+///     (ties to the lower session id). A weight-2 session therefore
+///     receives twice the grants of a weight-1 peer under saturation,
+///     and no pending session of the top contending tier starves.
+///
+/// Sessions can come and go while the arbiter is live (serving churn):
+/// add_session registers at the current virtual-time floor, remove()
+/// forgets a drained session entirely.
 ///
 /// Maturity ordering *within* a stream stays the StreamServer's job; the
 /// arbiter is deliberately unaware of stages and frames.
@@ -32,15 +42,21 @@ class EngineArbiter {
  public:
   explicit EngineArbiter(telemetry::MetricsRegistry* metrics = nullptr);
 
-  /// Registers a session; weight must be >= 1. A session joining late
-  /// starts at the current virtual-time floor, so it cannot claim a
-  /// backlog of grants it never waited for.
-  void add_session(int64_t session, int weight = 1);
+  /// Registers a session; weight must be >= 1, priority >= 0 (higher wins
+  /// the engine first). A session joining late starts at the current
+  /// virtual-time floor, so it cannot claim a backlog of grants it never
+  /// waited for.
+  void add_session(int64_t session, int weight = 1, int priority = 0);
+
+  /// Forgets a session entirely (stream closed and drained). The session
+  /// must not hold the engine; a pending claim is withdrawn.
+  void remove_session(int64_t session);
 
   /// Non-blocking: grants the engine iff it is free and no *pending*
-  /// session has a stronger round-robin claim. On refusal the session is
-  /// recorded as pending, so its claim matures; callers retry after the
-  /// next release (the owning server's condition variable covers this).
+  /// session has a stronger claim (higher tier, or same tier and smaller
+  /// virtual time). On refusal the session is recorded as pending, so its
+  /// claim matures; callers retry after the next release (the owning
+  /// server's condition variable covers this).
   bool try_acquire(int64_t session);
 
   /// Returns the engine; `session` must be the current holder.
@@ -56,6 +72,7 @@ class EngineArbiter {
  private:
   struct SessionState {
     int weight = 1;
+    int priority = 0;    ///< tier; strict precedence over vtime
     double vtime = 0.0;  ///< accumulated grant cost (deficit round-robin)
     bool pending = false;
   };

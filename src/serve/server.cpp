@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "core/errors.hpp"
 
@@ -30,6 +31,9 @@ StreamServer::StreamServer(ServerOptions options)
       arbiter_(metrics_) {
   TINCY_CHECK_MSG(options_.num_workers >= 1,
                   "num_workers " << options_.num_workers);
+  TINCY_CHECK_MSG(options_.degrade_at > 0.0 && options_.degrade_at <= 1.0,
+                  "degrade_at " << options_.degrade_at
+                                << " outside (0, 1]");
 }
 
 StreamServer::~StreamServer() { stop(); }
@@ -38,8 +42,9 @@ int64_t StreamServer::open_session(SessionConfig cfg) {
   TINCY_CHECK_MSG(!cfg.stages.empty(), "session needs at least one stage");
   TINCY_CHECK_MSG(cfg.queue_capacity >= 1,
                   "queue_capacity " << cfg.queue_capacity);
-  std::lock_guard lock(mutex_);
-  TINCY_CHECK_MSG(!running_, "open_session() while the server is running");
+  TINCY_CHECK_MSG(cfg.weight >= 1, "weight " << cfg.weight);
+  TINCY_CHECK_MSG(cfg.priority >= 0, "priority " << cfg.priority);
+  std::unique_lock lock(mutex_);
   const int64_t id = static_cast<int64_t>(sessions_.size());
   auto s = std::make_unique<Session>();
   s->cfg = std::move(cfg);
@@ -50,24 +55,59 @@ int64_t StreamServer::open_session(SessionConfig cfg) {
   s->frames_counter = &metrics_->counter(prefix + "frames");
   s->latency_hist = &metrics_->histogram(prefix + "latency_ms");
   s->rejected_counter = &metrics_->counter(prefix + "rejected");
-  arbiter_.add_session(id, s->cfg.weight);
+  s->shed_counter = &metrics_->counter(prefix + "shed");
+  s->degraded_counter = &metrics_->counter(prefix + "degraded");
+  s->dropped_counter = &metrics_->counter(prefix + "dropped");
+  s->faults_counter = &metrics_->counter(prefix + "faults");
+  s->quarantined_gauge = &metrics_->gauge(prefix + "quarantined");
+  arbiter_.add_session(id, s->cfg.weight, s->cfg.priority);
   sessions_.push_back(std::move(s));
+  lock.unlock();
+  cv_.notify_all();  // live churn: workers should see the new session
   return id;
+}
+
+void StreamServer::close_session(int64_t session) {
+  std::unique_lock lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  Session& s = *sessions_[static_cast<size_t>(session)];
+  if (s.closed) return;
+  s.closed = true;
+  // Frames that never entered the stage chain are dropped; in-flight
+  // frames (slots + running stages) keep their submit_times front entries
+  // and finish to delivery.
+  const int64_t queued = static_cast<int64_t>(s.queue.size());
+  if (queued > 0) {
+    s.queue.clear();
+    s.submit_times.erase(s.submit_times.end() - queued, s.submit_times.end());
+    s.discarded += queued;
+    s.dropped_counter->add(queued);
+  }
+  // Withdraw any maturing engine claim: the work it was for may just have
+  // been dropped, and a pending claim with no future acquire would hold
+  // back every other session. In-flight frames that still need the engine
+  // simply re-claim on their next scan.
+  arbiter_.cancel(session);
+  maybe_retire_locked(session);
+  lock.unlock();
+  cv_.notify_all();  // drain() may be satisfied now
 }
 
 void StreamServer::start() {
   std::lock_guard lock(mutex_);
   TINCY_CHECK_MSG(!running_, "start() while already running");
   TINCY_CHECK_MSG(!sessions_.empty(), "start() with no sessions");
-  for (auto& s : sessions_) {
-    s->queue.clear();
-    s->submit_times.clear();
-    s->slots.assign(s->cfg.stages.size(), Slot{});
-    s->admitted = 0;
-    s->done = 0;
-    s->frames_counter->reset();
-    s->latency_hist->reset();
-    s->rejected_counter->reset();
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = *sessions_[i];
+    reset_session_locked(s);
+    // Retired sessions were forgotten by the arbiter; re-registering all
+    // of them (remove is a no-op for the still-known ones) restarts every
+    // session at the virtual-time floor.
+    arbiter_.remove_session(static_cast<int64_t>(i));
+    arbiter_.add_session(static_cast<int64_t>(i), s.cfg.weight,
+                         s.cfg.priority);
   }
   rr_next_ = 0;
   stopping_ = false;
@@ -84,9 +124,32 @@ ServeResult StreamServer::submit(int64_t session, video::Frame frame) {
       "unknown session " << session);
   Session& s = *sessions_[static_cast<size_t>(session)];
   if (!running_ || stopping_) return ServeResult::kClosed;
+  if (s.quarantined) return ServeResult::kQuarantined;
+  if (s.closed) return ServeResult::kClosed;
   if (static_cast<int64_t>(s.queue.size()) >= s.cfg.queue_capacity) {
-    s.rejected_counter->add(1);
-    return ServeResult::kOverloaded;
+    if (options_.overload_policy == OverloadPolicy::kShedOldest &&
+        !s.queue.empty()) {
+      // Freshness wins: evict the stalest *queued* frame (in-flight ones
+      // are untouchable) to make room. Its timestamp sits right after the
+      // in-flight block at the front of submit_times.
+      const size_t in_flight = s.submit_times.size() - s.queue.size();
+      s.queue.pop_front();
+      s.submit_times.erase(s.submit_times.begin() +
+                           static_cast<std::ptrdiff_t>(in_flight));
+      ++s.discarded;
+      s.shed_counter->add(1);
+    } else {
+      s.rejected_counter->add(1);
+      return ServeResult::kOverloaded;
+    }
+  }
+  if (options_.overload_policy == OverloadPolicy::kDegrade && s.cfg.degrade) {
+    const auto mark = static_cast<int64_t>(std::ceil(
+        options_.degrade_at * static_cast<double>(s.cfg.queue_capacity)));
+    if (static_cast<int64_t>(s.queue.size()) >= std::max<int64_t>(1, mark)) {
+      s.cfg.degrade(frame);
+      s.degraded_counter->add(1);
+    }
   }
   s.queue.push_back(std::move(frame));
   s.submit_times.push_back(std::chrono::steady_clock::now());
@@ -101,6 +164,9 @@ bool StreamServer::find_job_locked(Job& job) {
   for (size_t k = 0; k < n; ++k) {
     const size_t si = (rr_next_ + k) % n;
     Session& s = *sessions_[si];
+    // Quarantined sessions hold no claimable frames (they were discarded
+    // at the poison point); retired ones additionally left the arbiter.
+    if (s.retired || s.quarantined) continue;
     for (int64_t i = static_cast<int64_t>(s.cfg.stages.size()) - 1; i >= 0;
          --i) {
       Slot& out = s.slots[static_cast<size_t>(i)];
@@ -146,17 +212,51 @@ void StreamServer::worker_loop() {
     lock.unlock();
     cv_.notify_all();  // freed queue space / input slot enables upstream
 
-    s.cfg.stages[static_cast<size_t>(job.stage)].work(frame);
+    bool faulted = false;
+    std::string fault;
+    try {
+      s.cfg.stages[static_cast<size_t>(job.stage)].work(frame);
+    } catch (const std::exception& e) {
+      faulted = true;
+      fault = e.what();
+    } catch (...) {
+      faulted = true;
+      fault = "non-standard exception";
+    }
     const bool last =
         job.stage == static_cast<int64_t>(s.cfg.stages.size()) - 1;
     // Delivery happens outside the lock but is serialized per session by
-    // the reserved last-stage slot, so results leave in order.
-    if (last && s.cfg.deliver) s.cfg.deliver(std::move(frame));
+    // the reserved last-stage slot, so results leave in order. A sibling
+    // stage may have poisoned the session while this frame was in the
+    // stage; nothing is delivered past the poison point.
+    if (!faulted && last && s.cfg.deliver) {
+      lock.lock();
+      const bool deliverable = !s.quarantined;
+      lock.unlock();
+      if (deliverable) {
+        try {
+          s.cfg.deliver(std::move(frame));
+        } catch (const std::exception& e) {
+          faulted = true;
+          fault = e.what();
+        } catch (...) {
+          faulted = true;
+          fault = "non-standard exception";
+        }
+      }
+    }
     if (job.engine) arbiter_.release(job.session);
 
     lock.lock();
     out.reserved = false;
-    if (last) {
+    if (faulted) {
+      quarantine_locked(job.session, fault);
+      ++s.discarded;  // the frame this worker was carrying
+      s.dropped_counter->add(1);
+    } else if (s.quarantined) {
+      ++s.discarded;  // poisoned while in flight — never counted delivered
+      s.dropped_counter->add(1);
+    } else if (last) {
       ++s.done;
       s.frames_counter->add(1);
       s.latency_hist->record(ms_between(s.submit_times.front(),
@@ -165,10 +265,71 @@ void StreamServer::worker_loop() {
     } else {
       out.frame = std::move(frame);
     }
+    if (s.closed || s.quarantined) maybe_retire_locked(job.session);
     lock.unlock();
     cv_.notify_all();  // deposited output / delivery may unblock drain()
     lock.lock();
   }
+}
+
+void StreamServer::quarantine_locked(int64_t session,
+                                     const std::string& what) {
+  Session& s = *sessions_[static_cast<size_t>(session)];
+  s.faults_counter->add(1);
+  if (s.quarantined) return;  // concurrent faults: first one poisons
+  s.quarantined = true;
+  s.last_fault = what;
+  s.quarantined_gauge->set(1.0);
+  // Everything this session still owns is discarded: queued frames, slot
+  // deposits, and the timestamps tracking them. Frames currently inside a
+  // stage of another worker are discarded by that worker on return.
+  int64_t dropped = static_cast<int64_t>(s.queue.size());
+  s.queue.clear();
+  for (auto& slot : s.slots) {
+    if (!slot.frame.has_value()) continue;
+    slot.frame.reset();
+    ++dropped;
+  }
+  s.submit_times.clear();
+  if (dropped > 0) {
+    s.discarded += dropped;
+    s.dropped_counter->add(dropped);
+  }
+  arbiter_.cancel(session);
+}
+
+void StreamServer::maybe_retire_locked(int64_t session) {
+  Session& s = *sessions_[static_cast<size_t>(session)];
+  if (s.retired || !(s.closed || s.quarantined)) return;
+  if (!s.queue.empty()) return;
+  for (const auto& slot : s.slots)
+    if (slot.frame.has_value() || slot.reserved) return;
+  // No slot is reserved, so no stage of this session is running and the
+  // engine release (which precedes clearing the reservation) has happened:
+  // the arbiter can forget the session safely.
+  s.retired = true;
+  arbiter_.remove_session(session);
+}
+
+void StreamServer::reset_session_locked(Session& s) {
+  s.queue.clear();
+  s.submit_times.clear();
+  s.slots.assign(s.cfg.stages.size(), Slot{});
+  s.admitted = 0;
+  s.done = 0;
+  s.discarded = 0;
+  s.closed = false;
+  s.quarantined = false;
+  s.retired = false;
+  s.last_fault.clear();
+  s.frames_counter->reset();
+  s.latency_hist->reset();
+  s.rejected_counter->reset();
+  s.shed_counter->reset();
+  s.degraded_counter->reset();
+  s.dropped_counter->reset();
+  s.faults_counter->reset();
+  s.quarantined_gauge->set(0.0);
 }
 
 void StreamServer::drain() {
@@ -176,7 +337,7 @@ void StreamServer::drain() {
   cv_.wait(lock, [&] {
     if (stopping_ || !running_) return true;
     for (const auto& s : sessions_)
-      if (s->done != s->admitted) return false;
+      if (s->done + s->discarded != s->admitted) return false;
     return true;
   });
 }
@@ -235,6 +396,30 @@ int64_t StreamServer::rejected(int64_t session) const {
       session >= 0 && session < static_cast<int64_t>(sessions_.size()),
       "unknown session " << session);
   return sessions_[static_cast<size_t>(session)]->rejected_counter->value();
+}
+
+bool StreamServer::closed(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return sessions_[static_cast<size_t>(session)]->closed;
+}
+
+bool StreamServer::quarantined(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return sessions_[static_cast<size_t>(session)]->quarantined;
+}
+
+std::string StreamServer::fault_message(int64_t session) const {
+  std::lock_guard lock(mutex_);
+  TINCY_CHECK_MSG(
+      session >= 0 && session < static_cast<int64_t>(sessions_.size()),
+      "unknown session " << session);
+  return sessions_[static_cast<size_t>(session)]->last_fault;
 }
 
 }  // namespace tincy::serve

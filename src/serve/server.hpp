@@ -12,19 +12,31 @@
 ///
 ///  * scheduling is most-mature-first *within* a session (the paper's
 ///    policy) and round-robin *across* sessions, with engine access
-///    weighted per session by the arbiter;
-///  * each session has a bounded admission queue: submit() returns
-///    ServeResult::kOverloaded instead of blocking when it is full
-///    (per-stream backpressure — the caller throttles or sheds);
+///    weighted and priority-tiered per session by the arbiter;
+///  * each session has a bounded admission queue with a configurable
+///    overload policy: reject (kOverloaded backpressure), shed-oldest
+///    (drop the stalest queued frame to admit the new one), or degrade
+///    (run the session's degrade hook on admissions under pressure);
 ///  * delivery is in order per session: the single-slot chain prevents a
-///    frame overtaking another, stream by stream.
+///    frame overtaking another, stream by stream;
+///  * sessions churn freely: open_session/close_session work while the
+///    server is running, and a stage that throws quarantines only its own
+///    session — queued frames are discarded, the session stops accepting
+///    submissions, and every other stream keeps flowing.
 ///
 /// Telemetry (see docs/observability.md):
 ///   serve.session.<name>.frames      counter, frames delivered
 ///   serve.session.<name>.latency_ms  histogram, submit -> delivery
 ///   serve.session.<name>.rejected    counter, kOverloaded submissions
+///   serve.session.<name>.shed        counter, frames shed by kShedOldest
+///   serve.session.<name>.degraded    counter, degrade-hook invocations
+///   serve.session.<name>.dropped     counter, frames discarded at
+///                                    close/quarantine
+///   serve.session.<name>.faults      counter, stage/deliver exceptions
+///   serve.session.<name>.quarantined gauge, 1 once quarantined
 ///   serve.arbiter.grants / serve.arbiter.queue_depth (EngineArbiter)
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,14 +56,31 @@ namespace tincy::serve {
 
 /// Outcome of a frame submission.
 enum class ServeResult {
-  kAccepted,    ///< queued; the session's deliver hook will see it
-  kOverloaded,  ///< admission queue full — backpressure, retry later
-  kClosed,      ///< server not running (not started, stopping or stopped)
+  kAccepted,     ///< queued; the session's deliver hook will see it
+  kOverloaded,   ///< admission queue full — backpressure, retry later
+  kClosed,       ///< server not running, or the session was closed
+  kQuarantined,  ///< the session faulted and no longer accepts frames
+};
+
+/// What submit() does when a session's admission queue is full (and, for
+/// kDegrade, when it is merely under pressure).
+enum class OverloadPolicy {
+  /// Refuse the new frame with kOverloaded (pure backpressure; default).
+  kReject,
+  /// Discard the oldest *queued* (not yet started) frame — counted in
+  /// serve.session.<name>.shed — and admit the new one: freshness wins.
+  kShedOldest,
+  /// Run SessionConfig::degrade on every admission once the queue depth
+  /// reaches degrade_at × capacity (counted in .degraded), e.g. to
+  /// downshift the input resolution; a completely full queue still
+  /// rejects with kOverloaded.
+  kDegrade,
 };
 
 /// One stage of a session's processing chain. Stages with `uses_engine`
 /// run only while the session holds the fabric engine grant; everything
-/// else overlaps freely across sessions.
+/// else overlaps freely across sessions. A stage that throws poisons its
+/// session: the session is quarantined, never the server.
 struct ServeStage {
   std::string name;
   std::function<void(video::Frame&)> work;
@@ -59,57 +88,80 @@ struct ServeStage {
 };
 
 /// A client stream: its own stage chain (own network instance — sessions
-/// share no mutable state), in-order result delivery, an arbiter weight
-/// and an admission-queue bound.
+/// share no mutable state), in-order result delivery, an arbiter weight,
+/// a priority tier and an admission-queue bound.
 struct SessionConfig {
   std::string name;  ///< metric label; defaults to "s<index>" when empty
   std::vector<ServeStage> stages;
   /// In-order delivery hook; invoked from worker threads, never
   /// concurrently for the same session.
   std::function<void(video::Frame&&)> deliver;
-  int weight = 1;               ///< engine share under saturation
-  int64_t queue_capacity = 8;   ///< admission bound (>= 1)
+  /// Under OverloadPolicy::kDegrade: applied to a frame at admission when
+  /// the queue is past the pressure mark. Runs inside submit() under the
+  /// server lock — keep it cheap (flip a resolution flag, subsample) and
+  /// never call back into the server from it.
+  std::function<void(video::Frame&)> degrade;
+  int weight = 1;    ///< engine share within the priority tier (>= 1)
+  int priority = 0;  ///< engine priority tier, higher preempts (>= 0)
+  int64_t queue_capacity = 8;  ///< admission bound (>= 1)
 };
 
 struct ServerOptions {
   int num_workers = 4;  ///< shared worker pool (paper: 4 × A53)
+  /// Server-wide admission behavior under overload.
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+  /// kDegrade pressure mark as a fraction of queue_capacity, in (0, 1].
+  double degrade_at = 0.5;
   /// Registry for serve.* metrics; null selects the process-wide default.
   telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class StreamServer {
  public:
+  /// Validates the options (num_workers >= 1, degrade_at in (0, 1]).
   explicit StreamServer(ServerOptions options = {});
 
   /// stop()s and joins; queued frames that never started are dropped,
   /// frames inside a stage finish their buffer handoff first.
   ~StreamServer();
 
-  /// Registers a stream; must be called before start(). Returns the
-  /// session id used by submit()/accessors.
+  /// Registers a stream — before start() or live, mid-serve (churn).
+  /// Validates the config (stages non-empty, queue_capacity >= 1,
+  /// weight >= 1, priority >= 0). Returns the session id used by
+  /// submit()/accessors; ids are never reused.
   int64_t open_session(SessionConfig cfg);
 
-  /// Spawns the worker pool and begins accepting submissions. Resets the
-  /// serve.* metrics of this server's sessions.
+  /// Closes a stream (idempotent): queued frames that never started are
+  /// discarded (counted in serve.session.<name>.dropped), frames already
+  /// inside the stage chain run to delivery, and further submissions
+  /// answer kClosed. Works while the server is running — the churn path.
+  void close_session(int64_t session);
+
+  /// Spawns the worker pool and begins accepting submissions. Resets
+  /// every registered session to a fresh open state (clears closed /
+  /// quarantined flags and the serve.* metrics of this server's sessions).
   void start();
 
-  /// Admits one frame into the session's queue (or rejects it). Thread
-  /// safe; any number of producer threads may submit concurrently.
+  /// Admits one frame into the session's queue, applying the overload
+  /// policy when the queue is full. Thread safe; any number of producer
+  /// threads may submit concurrently.
   ServeResult submit(int64_t session, video::Frame frame);
 
-  /// Blocks until every admitted frame has been delivered (or stop() is
-  /// requested from elsewhere).
-  void stop();
-
-  /// Blocks until all admitted frames are delivered, then keeps running
-  /// (more submissions remain possible).
+  /// Blocks until every admitted frame has been delivered or discarded
+  /// (or stop() is requested from elsewhere).
   void drain();
+
+  void stop();
 
   bool running() const;
   int64_t num_sessions() const;
   int64_t queue_depth(int64_t session) const;   ///< admitted, not yet started
   int64_t delivered(int64_t session) const;
   int64_t rejected(int64_t session) const;
+  bool closed(int64_t session) const;
+  bool quarantined(int64_t session) const;
+  /// what() of the exception that quarantined the session ("" if healthy).
+  std::string fault_message(int64_t session) const;
 
   EngineArbiter& arbiter() { return arbiter_; }
   telemetry::MetricsRegistry& metrics() const { return *metrics_; }
@@ -125,14 +177,29 @@ class StreamServer {
   struct Session {
     SessionConfig cfg;
     std::deque<video::Frame> queue;  ///< admission queue (pre stage 0)
-    /// Submission timestamps, admission order == delivery order.
+    /// Submission timestamps of undelivered, undiscarded frames in
+    /// admission order: the in-flight frames first, then the queued ones.
     std::deque<std::chrono::steady_clock::time_point> submit_times;
     std::vector<Slot> slots;
     int64_t admitted = 0;
     int64_t done = 0;
+    /// Frames that will never be delivered: shed under overload, dropped
+    /// at close/quarantine. drain() waits for done + discarded == admitted.
+    int64_t discarded = 0;
+    bool closed = false;
+    bool quarantined = false;
+    /// Closed/quarantined AND fully drained: skipped by the job scan and
+    /// removed from the arbiter, so dead churned sessions cost one branch.
+    bool retired = false;
+    std::string last_fault;
     telemetry::Counter* frames_counter;
     telemetry::Histogram* latency_hist;
     telemetry::Counter* rejected_counter;
+    telemetry::Counter* shed_counter;
+    telemetry::Counter* degraded_counter;
+    telemetry::Counter* dropped_counter;
+    telemetry::Counter* faults_counter;
+    telemetry::Gauge* quarantined_gauge;
   };
 
   /// One claimable unit of work: (session, stage) plus whether the claim
@@ -149,6 +216,13 @@ class StreamServer {
   /// with the arbiter.
   bool find_job_locked(Job& job);
   void worker_loop();
+  /// Poisons the session: discards its queued and slot-held frames,
+  /// withdraws its engine claim and stops admissions. Server keeps going.
+  void quarantine_locked(int64_t session, const std::string& what);
+  /// Marks a drained closed/quarantined session retired and forgets it at
+  /// the arbiter.
+  void maybe_retire_locked(int64_t session);
+  void reset_session_locked(Session& s);
 
   ServerOptions options_;
   telemetry::MetricsRegistry* metrics_;

@@ -76,6 +76,7 @@ std::string to_json(const Snapshot& snapshot) {
     out += ", \"last\": " + format_double(h.stats.last);
     out += ", \"p50\": " + format_double(h.stats.p50);
     out += ", \"p95\": " + format_double(h.stats.p95);
+    out += ", \"p99\": " + format_double(h.stats.p99);
     out += "}";
   }
   out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
@@ -233,6 +234,7 @@ class Parser {
         else if (field == "last") h.stats.last = v;
         else if (field == "p50") h.stats.p50 = v;
         else if (field == "p95") h.stats.p95 = v;
+        else if (field == "p99") h.stats.p99 = v;
         else fail("unknown histogram field '" + field + "'");
       });
       s.histograms.push_back(std::move(h));
@@ -254,14 +256,14 @@ std::string summary_table(const Snapshot& snapshot) {
   std::ostringstream os;
   char line[256];
   if (!snapshot.histograms.empty()) {
-    std::snprintf(line, sizeof line, "%-40s %8s %10s %10s %10s %10s\n",
-                  "histogram", "count", "mean", "p50", "p95", "max");
+    std::snprintf(line, sizeof line, "%-40s %8s %10s %10s %10s %10s %10s\n",
+                  "histogram", "count", "mean", "p50", "p95", "p99", "max");
     os << line;
     for (const auto& h : snapshot.histograms) {
       std::snprintf(line, sizeof line,
-                    "%-40s %8" PRId64 " %10.3f %10.3f %10.3f %10.3f\n",
+                    "%-40s %8" PRId64 " %10.3f %10.3f %10.3f %10.3f %10.3f\n",
                     h.name.c_str(), h.stats.count, h.stats.mean(),
-                    h.stats.p50, h.stats.p95, h.stats.max);
+                    h.stats.p50, h.stats.p95, h.stats.p99, h.stats.max);
       os << line;
     }
   }

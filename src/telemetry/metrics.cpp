@@ -68,6 +68,7 @@ HistogramStats Histogram::stats() const {
   s.last = last_;
   s.p50 = quantile_locked(0.5);
   s.p95 = quantile_locked(0.95);
+  s.p99 = quantile_locked(0.99);
   return s;
 }
 

@@ -71,6 +71,7 @@ struct HistogramStats {
   double last = 0.0;  ///< most recently recorded value
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 };

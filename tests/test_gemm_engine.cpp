@@ -22,6 +22,7 @@
 #include "gemm/im2col.hpp"
 #include "gemm/scratch.hpp"
 #include "quant/affine.hpp"
+#include "telemetry/metrics.hpp"
 
 // --- Global operator new instrumentation (zero-allocation smoke test) ---
 // Counts every heap acquisition in the process so the steady-state claim
@@ -134,8 +135,39 @@ TEST_P(PackedGemmParity, ForcedShardingBitExact) {
   GemmOptions opts;
   opts.pool = &pool;
   opts.min_ops_per_shard = 1;  // shard even tiny problems
+  opts.min_ops_to_thread = 1;
   gemm_lowp_packed(M, N, K, a.data(), za, b.data(), zb, got.data(), opts);
   EXPECT_EQ(ref, got);
+}
+
+TEST(ThreadingHeuristic, SkinnyShapesDeclineThreads) {
+  // The layer0 shape (M=16, K=27) runs in well under a millisecond single
+  // threaded; fanning it out loses more to worker wake-up than the
+  // parallel section saves (the 2.97x < 3x gate miss). The whole-call
+  // floor must keep such calls on one thread even with a big pool.
+  const int64_t M = 16, N = 1000, K = 27;
+  Rng rng(95);
+  const auto a = random_codes(rng, M * K);
+  const auto b = random_codes(rng, K * N);
+  const int32_t za = 7, zb = 131;
+  std::vector<int32_t> ref(M * N), got(M * N);
+  gemm_lowp_i32(M, N, K, a.data(), za, b.data(), zb, ref.data());
+  core::ThreadPool pool(4);
+  GemmOptions opts;
+  opts.pool = &pool;
+  ASSERT_LT(2 * M * N * K, opts.min_ops_to_thread);
+  gemm_lowp_packed(M, N, K, a.data(), za, b.data(), zb, got.data(), opts);
+  EXPECT_EQ(ref, got);
+  auto& registry = telemetry::MetricsRegistry::global();
+  EXPECT_EQ(registry.snapshot().gauge_value("gemm.threads"), 1.0);
+
+  // A deep-K shape above the floor still fans out on the same pool.
+  const int64_t K2 = 1 << 13;
+  const auto a2 = random_codes(rng, M * K2);
+  const auto b2 = random_codes(rng, K2 * N);
+  std::vector<int32_t> got2(M * N);
+  gemm_lowp_packed(M, N, K2, a2.data(), za, b2.data(), zb, got2.data(), opts);
+  EXPECT_GT(registry.snapshot().gauge_value("gemm.threads"), 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -439,6 +471,7 @@ TEST(ThreadPool, ConcurrentGemmCallersStaySane) {
       GemmOptions opts;
       opts.pool = &pool;
       opts.min_ops_per_shard = 1;
+      opts.min_ops_to_thread = 1;
       for (int rep = 0; rep < kReps; ++rep)
         gemm_lowp_packed(lhs, b.data(), zb, N, outs[t].data(), opts);
     });

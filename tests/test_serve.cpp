@@ -7,10 +7,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/rng.hpp"
 #include "nn/builder.hpp"
 #include "nn/zoo.hpp"
@@ -71,6 +74,46 @@ TEST(EngineArbiter, WeightedRoundRobinShares) {
   }
   EXPECT_NEAR(grants0, 20, 2);
   EXPECT_NEAR(grants1, 10, 2);
+}
+
+TEST(EngineArbiter, PriorityTierBeatsWeightAndVtime) {
+  // A pending high-tier session always takes the engine before a low-tier
+  // one, whatever the weights say.
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry);
+  arb.add_session(0, /*weight=*/8, /*priority=*/0);
+  arb.add_session(1, /*weight=*/1, /*priority=*/1);
+  ASSERT_TRUE(arb.try_acquire(0));
+  EXPECT_FALSE(arb.try_acquire(1));  // pending high-tier claim
+  arb.release(0);
+  for (int round = 0; round < 10; ++round) {
+    // As long as the high tier keeps contending, the low tier never wins.
+    EXPECT_FALSE(arb.try_acquire(0));
+    ASSERT_TRUE(arb.try_acquire(1));
+    EXPECT_FALSE(arb.try_acquire(1));  // re-register the claim while held
+    arb.release(1);
+  }
+  // High tier goes idle: the low tier's matured claim is served.
+  arb.cancel(1);
+  EXPECT_TRUE(arb.try_acquire(0));
+  arb.release(0);
+}
+
+TEST(EngineArbiter, RemoveSessionWithdrawsPendingClaim) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry);
+  arb.add_session(0);
+  arb.add_session(1);
+  ASSERT_TRUE(arb.try_acquire(0));
+  EXPECT_FALSE(arb.try_acquire(1));
+  EXPECT_EQ(arb.pending(), 1);
+  arb.remove_session(1);  // churned away while its claim matures
+  EXPECT_EQ(arb.pending(), 0);
+  arb.release(0);
+  // No stale claim from the removed session blocks the survivor.
+  EXPECT_TRUE(arb.try_acquire(0));
+  arb.release(0);
+  EXPECT_EQ(registry.snapshot().gauge_value("serve.arbiter.queue_depth"), 0);
 }
 
 // --- StreamServer: the 4x64 stress test (tier-1, primary TSan target) ---
@@ -237,6 +280,332 @@ TEST(StreamServer, StopMidStreamIsClean) {
   }
 }
 
+// --- Configuration validation ---
+
+TEST(StreamServer, RejectsInvalidConfiguration) {
+  {
+    ServerOptions o;
+    o.num_workers = 0;
+    EXPECT_THROW(StreamServer{o}, Error);
+  }
+  {
+    ServerOptions o;
+    o.degrade_at = 0.0;
+    EXPECT_THROW(StreamServer{o}, Error);
+  }
+  {
+    ServerOptions o;
+    o.degrade_at = 1.5;
+    EXPECT_THROW(StreamServer{o}, Error);
+  }
+
+  StreamServer server;
+  const auto stage = ServeStage{"noop", [](video::Frame&) {}, false};
+  {
+    SessionConfig sc;  // no stages
+    EXPECT_THROW(server.open_session(std::move(sc)), Error);
+  }
+  {
+    SessionConfig sc;
+    sc.stages = {stage};
+    sc.queue_capacity = 0;
+    EXPECT_THROW(server.open_session(std::move(sc)), Error);
+  }
+  {
+    SessionConfig sc;
+    sc.stages = {stage};
+    sc.queue_capacity = -4;
+    EXPECT_THROW(server.open_session(std::move(sc)), Error);
+  }
+  {
+    SessionConfig sc;
+    sc.stages = {stage};
+    sc.weight = 0;
+    EXPECT_THROW(server.open_session(std::move(sc)), Error);
+  }
+  {
+    SessionConfig sc;
+    sc.stages = {stage};
+    sc.priority = -1;
+    EXPECT_THROW(server.open_session(std::move(sc)), Error);
+  }
+}
+
+// --- Churn: close mid-frame, submit-after-close, open while running ---
+
+TEST(StreamServer, CloseMidStreamDropsQueuedDeliversInFlight) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::vector<int64_t> delivered;
+  std::mutex m;
+  SessionConfig sc;
+  sc.stages = {{"block", [&](video::Frame&) {
+                  entered.store(true);
+                  while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                }, false}};
+  sc.deliver = [&](video::Frame&& f) {
+    std::lock_guard lock(m);
+    delivered.push_back(f.sequence);
+  };
+  sc.queue_capacity = 8;
+  server.open_session(std::move(sc));
+  server.start();
+
+  // Frame 0 enters the stage and blocks there; 1..4 pile up in the queue.
+  ASSERT_EQ(server.submit(0, make_frame(0)), ServeResult::kAccepted);
+  while (!entered.load())
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  for (int64_t seq = 1; seq <= 4; ++seq)
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+
+  server.close_session(0);
+  EXPECT_TRUE(server.closed(0));
+  server.close_session(0);  // idempotent
+  EXPECT_EQ(server.submit(0, make_frame(99)), ServeResult::kClosed);
+
+  release.store(true);
+  server.drain();  // in-flight frame 0 delivers; 1..4 were dropped
+  server.stop();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 0);
+  EXPECT_EQ(server.delivered(0), 1);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.session.s0.frames"), 1);
+  EXPECT_EQ(snap.counter_value("serve.session.s0.dropped"), 4);
+}
+
+TEST(StreamServer, OpenSessionWhileRunningServesNewStream) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  std::vector<std::vector<int64_t>> delivered(2);
+  std::vector<std::unique_ptr<std::mutex>> m;
+  for (int i = 0; i < 2; ++i) m.push_back(std::make_unique<std::mutex>());
+  auto make_config = [&](int i) {
+    SessionConfig sc;
+    sc.stages = {{"work", [](video::Frame&) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50));
+                  }, false}};
+    auto* out = &delivered[static_cast<size_t>(i)];
+    auto* mu = m[static_cast<size_t>(i)].get();
+    sc.deliver = [out, mu](video::Frame&& f) {
+      std::lock_guard lock(*mu);
+      out->push_back(f.sequence);
+    };
+    sc.queue_capacity = 16;
+    return sc;
+  };
+
+  ASSERT_EQ(server.open_session(make_config(0)), 0);
+  server.start();
+  for (int64_t seq = 0; seq < 4; ++seq)
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+
+  // The join-mid-serve path: a second stream appears on a live server.
+  ASSERT_EQ(server.open_session(make_config(1)), 1);
+  EXPECT_EQ(server.num_sessions(), 2);
+  for (int64_t seq = 0; seq < 4; ++seq) {
+    ASSERT_EQ(server.submit(1, make_frame(seq)), ServeResult::kAccepted);
+    ASSERT_EQ(server.submit(0, make_frame(4 + seq)), ServeResult::kAccepted);
+  }
+  server.drain();
+  server.stop();
+
+  ASSERT_EQ(delivered[0].size(), 8u);
+  ASSERT_EQ(delivered[1].size(), 4u);
+  for (size_t s = 0; s < delivered[0].size(); ++s)
+    EXPECT_EQ(delivered[0][s], static_cast<int64_t>(s));
+  for (size_t s = 0; s < delivered[1].size(); ++s)
+    EXPECT_EQ(delivered[1][s], static_cast<int64_t>(s));
+}
+
+// --- Fault injection: a poisoned stage quarantines only its session ---
+
+TEST(StreamServer, FaultQuarantinesOnlyThePoisonedSession) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  std::vector<int64_t> healthy_out;
+  std::mutex m;
+  {
+    SessionConfig sc;  // session 0: healthy
+    sc.stages = {{"work", [](video::Frame&) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50));
+                  }, false}};
+    sc.deliver = [&](video::Frame&& f) {
+      std::lock_guard lock(m);
+      healthy_out.push_back(f.sequence);
+    };
+    sc.queue_capacity = 32;
+    server.open_session(std::move(sc));
+  }
+  {
+    SessionConfig sc;  // session 1: throws on its third frame
+    auto count = std::make_shared<std::atomic<int64_t>>(0);
+    sc.stages = {{"poison", [count](video::Frame&) {
+                    if (count->fetch_add(1) + 1 == 3)
+                      throw std::runtime_error("injected: boom");
+                  }, false}};
+    sc.queue_capacity = 32;
+    server.open_session(std::move(sc));
+  }
+  server.start();
+
+  int64_t poisoned_accepted = 0;
+  for (int64_t seq = 0; seq < 12; ++seq) {
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+    const auto r = server.submit(1, make_frame(seq));
+    if (r == ServeResult::kAccepted) ++poisoned_accepted;
+    else EXPECT_EQ(r, ServeResult::kQuarantined);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  server.drain();
+
+  EXPECT_FALSE(server.quarantined(0));
+  EXPECT_TRUE(server.quarantined(1));
+  EXPECT_NE(server.fault_message(1).find("boom"), std::string::npos);
+  EXPECT_EQ(server.submit(1, make_frame(99)), ServeResult::kQuarantined);
+
+  // The healthy session keeps serving after the fault.
+  for (int64_t seq = 12; seq < 16; ++seq)
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+  server.drain();
+  server.stop();
+
+  ASSERT_EQ(healthy_out.size(), 16u);
+  for (size_t s = 0; s < healthy_out.size(); ++s)
+    EXPECT_EQ(healthy_out[s], static_cast<int64_t>(s));
+
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.session.s0.faults"), 0);
+  EXPECT_EQ(snap.gauge_value("serve.session.s0.quarantined"), 0.0);
+  EXPECT_EQ(snap.counter_value("serve.session.s1.faults"), 1);
+  EXPECT_EQ(snap.gauge_value("serve.session.s1.quarantined"), 1.0);
+  // Every admitted poisoned-session frame is accounted: the two delivered
+  // before the fault plus everything discarded at the poison point.
+  EXPECT_EQ(snap.counter_value("serve.session.s1.frames") +
+                snap.counter_value("serve.session.s1.dropped"),
+            poisoned_accepted);
+  EXPECT_EQ(snap.counter_value("serve.session.s1.frames"), 2);
+}
+
+// --- Overload policies beyond blanket rejection ---
+
+TEST(StreamServer, ShedOldestAdmitsFreshFrames) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.overload_policy = OverloadPolicy::kShedOldest;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::vector<int64_t> delivered;
+  std::mutex m;
+  SessionConfig sc;
+  sc.stages = {{"block", [&](video::Frame&) {
+                  entered.store(true);
+                  while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                }, false}};
+  sc.deliver = [&](video::Frame&& f) {
+    std::lock_guard lock(m);
+    delivered.push_back(f.sequence);
+  };
+  sc.queue_capacity = 2;
+  server.open_session(std::move(sc));
+  server.start();
+
+  // Frame 0 blocks in the stage; 1 and 2 fill the queue; 3 and 4 shed the
+  // two stalest queued frames instead of bouncing.
+  ASSERT_EQ(server.submit(0, make_frame(0)), ServeResult::kAccepted);
+  while (!entered.load())
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  for (int64_t seq = 1; seq <= 4; ++seq)
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+
+  release.store(true);
+  server.drain();
+  server.stop();
+
+  // In-flight frame 0, then the two freshest; order still monotone.
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], 0);
+  EXPECT_EQ(delivered[1], 3);
+  EXPECT_EQ(delivered[2], 4);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.session.s0.shed"), 2);
+  EXPECT_EQ(snap.counter_value("serve.session.s0.rejected"), 0);
+}
+
+TEST(StreamServer, DegradePolicyMarksPressuredAdmissions) {
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.overload_policy = OverloadPolicy::kDegrade;
+  opts.degrade_at = 0.5;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::vector<int64_t> degraded;  // only the submitting thread touches it
+  SessionConfig sc;
+  sc.stages = {{"block", [&](video::Frame&) {
+                  entered.store(true);
+                  while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                }, false}};
+  sc.degrade = [&degraded](video::Frame& f) {
+    degraded.push_back(f.sequence);
+  };
+  sc.queue_capacity = 4;
+  server.open_session(std::move(sc));
+  server.start();
+
+  // Frame 0 blocks in the stage. Queue depth at admission: 1 -> 0, 2 -> 1,
+  // 3 -> 2 (pressure mark ceil(0.5 * 4) = 2: degraded), 4 -> 3 (degraded),
+  // 5 -> full: kDegrade still rejects at the hard limit.
+  ASSERT_EQ(server.submit(0, make_frame(0)), ServeResult::kAccepted);
+  while (!entered.load())
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  for (int64_t seq = 1; seq <= 4; ++seq)
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+  EXPECT_EQ(server.submit(0, make_frame(5)), ServeResult::kOverloaded);
+
+  release.store(true);
+  server.drain();
+  server.stop();
+
+  ASSERT_EQ(degraded.size(), 2u);
+  EXPECT_EQ(degraded[0], 3);
+  EXPECT_EQ(degraded[1], 4);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.session.s0.degraded"), 2);
+  EXPECT_EQ(snap.counter_value("serve.session.s0.rejected"), 1);
+  EXPECT_EQ(snap.counter_value("serve.session.s0.frames"), 5);
+}
+
 // --- Golden determinism: 1-session server == single-stream pipeline ---
 
 struct FrameRecord {
@@ -308,12 +677,9 @@ std::vector<FrameRecord> run_serving_session(uint64_t camera_seed,
   return out;
 }
 
-TEST(StreamServer, GoldenMatchesSingleStreamPipeline) {
-  constexpr int64_t kFrames = 8;
-  const auto ref = run_reference_pipeline(29, kFrames);
-  const auto got = run_serving_session(29, kFrames);
-  ASSERT_EQ(ref.size(), static_cast<size_t>(kFrames));
-  ASSERT_EQ(got.size(), static_cast<size_t>(kFrames));
+void expect_bit_identical(const std::vector<FrameRecord>& ref,
+                          const std::vector<FrameRecord>& got) {
+  ASSERT_EQ(ref.size(), got.size());
   for (size_t f = 0; f < ref.size(); ++f) {
     EXPECT_EQ(ref[f].sequence, got[f].sequence);
     ASSERT_EQ(ref[f].detections.size(), got[f].detections.size())
@@ -331,6 +697,100 @@ TEST(StreamServer, GoldenMatchesSingleStreamPipeline) {
       EXPECT_EQ(a.box.h, b.box.h);
     }
   }
+}
+
+TEST(StreamServer, GoldenMatchesSingleStreamPipeline) {
+  constexpr int64_t kFrames = 8;
+  const auto ref = run_reference_pipeline(29, kFrames);
+  const auto got = run_serving_session(29, kFrames);
+  ASSERT_EQ(ref.size(), static_cast<size_t>(kFrames));
+  expect_bit_identical(ref, got);
+}
+
+// The soak-grade variant: the golden session shares the server with a
+// high-priority decoy that churns away mid-run and a poisoned decoy that
+// joins live and quarantines itself. None of that — priority reordering
+// at the engine, close-mid-stream drops, fault handling — may perturb the
+// golden session's outputs by a single bit.
+std::vector<FrameRecord> run_churny_serving_session(uint64_t camera_seed,
+                                                    int64_t frames) {
+  telemetry::MetricsRegistry registry;
+  auto net = nn::build_network_from_string(
+      nn::zoo::tiny_yolo_cfg(nn::zoo::TinyVariant::kTincy,
+                             nn::zoo::QuantMode::kFloat, 64,
+                             nn::zoo::CpuProfile::kFused),
+      &registry);
+  Rng rng(11);  // identical weights to the reference
+  nn::zoo::randomize(*net, rng);
+  video::SyntheticCamera camera({.width = 96, .height = 64,
+                                 .seed = camera_seed});
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.metrics = &registry;
+  StreamServer server(opts);
+  std::vector<FrameRecord> out;
+  std::mutex m;
+  SessionConfig golden;
+  golden.name = "golden";
+  golden.stages = demo_session_stages(*net, pipeline::DemoConfig{},
+                                      EnginePolicy::kHiddenLayers);
+  golden.deliver = [&out, &m](video::Frame&& f) {
+    std::lock_guard lock(m);
+    out.push_back({f.sequence, std::move(f.detections)});
+  };
+  golden.queue_capacity = frames;
+  const int64_t golden_id = server.open_session(std::move(golden));
+
+  SessionConfig decoy;  // outranks the golden session at the engine
+  decoy.name = "decoy";
+  decoy.priority = 1;
+  decoy.weight = 2;
+  decoy.stages = {{"spin", [](video::Frame&) {
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(80));
+                   }, false},
+                  {"engine", [](video::Frame&) {
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(40));
+                   }, true}};
+  decoy.queue_capacity = 16;
+  const int64_t decoy_id = server.open_session(std::move(decoy));
+  server.start();
+
+  int64_t poison_id = -1;
+  for (int64_t i = 0; i < frames; ++i) {
+    EXPECT_EQ(server.submit(golden_id, camera.read_frame()),
+              ServeResult::kAccepted);
+    if (i < 5) server.submit(decoy_id, make_frame(i));
+    if (i == 2) {
+      SessionConfig poison;  // joins live, faults on its second frame
+      poison.name = "poison";
+      auto count = std::make_shared<std::atomic<int64_t>>(0);
+      poison.stages = {{"boom", [count](video::Frame&) {
+                          if (count->fetch_add(1) + 1 == 2)
+                            throw std::runtime_error("injected fault");
+                        }, false}};
+      poison.queue_capacity = 16;
+      poison_id = server.open_session(std::move(poison));
+      for (int64_t p = 0; p < 4; ++p)
+        server.submit(poison_id, make_frame(p));
+    }
+    if (i == 5) server.close_session(decoy_id);  // leave mid-stream
+  }
+  server.drain();
+  server.stop();
+  EXPECT_TRUE(server.closed(decoy_id));
+  EXPECT_TRUE(server.quarantined(poison_id));
+  EXPECT_FALSE(server.quarantined(golden_id));
+  return out;
+}
+
+TEST(StreamServer, GoldenSoakChurnDoesNotPerturbResults) {
+  constexpr int64_t kFrames = 8;
+  const auto ref = run_reference_pipeline(29, kFrames);
+  const auto got = run_churny_serving_session(29, kFrames);
+  ASSERT_EQ(ref.size(), static_cast<size_t>(kFrames));
+  expect_bit_identical(ref, got);
 }
 
 }  // namespace

@@ -8,7 +8,15 @@
 // summing to N, a matching latency histogram per session, and the
 // serve.arbiter.* metrics.
 //
-// Usage: tincy_check_metrics <metrics.json> [--frames N | --serve-frames N]
+// With --slo it gates a soak run (`multistream --soak --metrics-json`):
+// every session latency histogram must carry a p99 estimate within the
+// bound (default 150 ms, override with --p99-ms X), and the quarantine
+// surface must be consistent — a session is quarantined iff it recorded
+// faults. The offending session's telemetry summary is printed on a
+// violation.
+//
+// Usage: tincy_check_metrics <metrics.json>
+//          [--frames N | --serve-frames N | --slo [--p99-ms X]] [--gemm]
 
 #include <cstdio>
 #include <cstring>
@@ -43,12 +51,17 @@ int main(int argc, char** argv) {
   int64_t expect_frames = -1;
   int64_t expect_serve_frames = -1;
   bool expect_gemm = false;
+  bool check_slo = false;
+  double slo_p99_ms = 150.0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       expect_frames = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--serve-frames") == 0 && i + 1 < argc)
       expect_serve_frames = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--gemm") == 0) expect_gemm = true;
+    if (std::strcmp(argv[i], "--slo") == 0) check_slo = true;
+    if (std::strcmp(argv[i], "--p99-ms") == 0 && i + 1 < argc)
+      slo_p99_ms = std::atof(argv[i + 1]);
   }
 
   std::ifstream f(argv[1]);
@@ -73,8 +86,65 @@ int main(int argc, char** argv) {
         return fail(h.name + ": p50 outside [min, max]");
       if (s.p95 < s.p50 - 1e-9) return fail(h.name + ": p95 < p50");
       if (s.p95 > s.max + 1e-9) return fail(h.name + ": p95 > max");
+      // p99 == 0 means a pre-p99 document; ordering applies when present.
+      if (s.p99 > 0.0 && s.p99 < s.p95 - 1e-9)
+        return fail(h.name + ": p99 < p95");
+      if (s.p99 > s.max + 1e-9) return fail(h.name + ": p99 > max");
       if (s.sum + 1e-9 < s.max) return fail(h.name + ": sum < max");
     }
+  }
+
+  // SLO mode: gate a soak run's tail latency and quarantine accounting.
+  if (check_slo) {
+    int64_t sessions = 0, gated = 0, quarantined = 0;
+    double worst_p99 = 0.0;
+    for (const auto& c : snapshot.counters) {
+      const bool is_frames = c.name.rfind("serve.session.", 0) == 0 &&
+                             ends_with(c.name, ".frames");
+      if (!is_frames) continue;
+      ++sessions;
+      const std::string base = c.name.substr(0, c.name.size() - 7);
+      const auto* lat = snapshot.find_histogram(base + ".latency_ms");
+      if (!lat) return fail(base + ".latency_ms missing");
+      const auto& s = lat->stats;
+      if (s.count > 0) {
+        ++gated;
+        if (s.p99 <= 0.0)
+          return fail(base + ".latency_ms: no p99 estimate in document");
+        worst_p99 = s.p99 > worst_p99 ? s.p99 : worst_p99;
+        if (s.p99 > slo_p99_ms) {
+          std::fprintf(stderr,
+                       "  %s: count=%lld mean=%.3f p50=%.3f p95=%.3f "
+                       "p99=%.3f max=%.3f ms\n",
+                       base.c_str(), static_cast<long long>(s.count),
+                       s.mean(), s.p50, s.p95, s.p99, s.max);
+          return fail(base + ".latency_ms: p99 " + std::to_string(s.p99) +
+                      " ms exceeds SLO " + std::to_string(slo_p99_ms) +
+                      " ms");
+        }
+      }
+      // A session is quarantined iff it recorded faults; shed/dropped
+      // counters must exist so the accounting surface is complete.
+      const auto* q = snapshot.find_gauge(base + ".quarantined");
+      if (!q) return fail(base + ".quarantined missing");
+      const int64_t faults = snapshot.counter_value(base + ".faults");
+      if ((q->value != 0.0) != (faults > 0))
+        return fail(base + ": quarantined gauge " +
+                    std::to_string(q->value) + " inconsistent with faults " +
+                    std::to_string(faults));
+      if (q->value != 0.0) ++quarantined;
+      if (!snapshot.find_counter(base + ".shed"))
+        return fail(base + ".shed missing");
+      if (!snapshot.find_counter(base + ".dropped"))
+        return fail(base + ".dropped missing");
+    }
+    if (sessions == 0) return fail("no serve.session.*.frames counters");
+    std::printf("metrics OK: %lld session(s), %lld with latency gated, "
+                "worst p99 %.2f ms <= SLO %.1f ms, %lld quarantined\n",
+                static_cast<long long>(sessions),
+                static_cast<long long>(gated), worst_p99, slo_p99_ms,
+                static_cast<long long>(quarantined));
+    return 0;
   }
 
   // Serving-surface mode: validate the serve.* namespace and stop.
