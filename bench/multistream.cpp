@@ -27,6 +27,11 @@
 //   multistream --soak [--sessions N] [--concurrent N] [--seed S]
 //               [--faults N] [--p99-ms X] [--metrics-json PATH]
 
+// ServeStage carries optional batched fields (batch_work, engine_layer)
+// with safe defaults; the three-field {name, work, uses_engine} literal
+// stays the canonical spelling for plain CPU stages.
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -43,6 +49,8 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "fabric/accelerator.hpp"
+#include "quant/binary.hpp"
 #include "serve/server.hpp"
 #include "telemetry/export.hpp"
 #include "video/frame.hpp"
@@ -143,6 +151,319 @@ int run_sweep() {
 }
 
 // ---------------------------------------------------------------------------
+// Batched mode (tier2-batch): gang-scheduled cross-stream batching over a
+// real fabric layer, against the sequential per-frame-grant baseline.
+//
+// Every stream runs pre (CPU sleep) -> engine -> post (CPU sleep); the
+// engine stage executes one offloaded FC-style layer bit-exactly through
+// QnnAccelerator::run_layer_batched and sleeps the modeled pass time, so
+// the measured throughput reflects the cycle model's weight-DMA
+// amortization. Gates: modeled weight-DMA cycles per frame strictly
+// decreasing with stream count, >= 1.5x aggregate throughput over the
+// unbatched baseline at 8 streams, and bit-identical outputs (every
+// delivered frame is checked against the sequential forward_codes path).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kBatchFilters = 256;
+constexpr int64_t kBatchInputs = 2304;  // 1x1 "FC" conv: 256 x 2304 weights
+constexpr int64_t kBatchFramesPerStream = 48;
+constexpr double kBatchTimeScale = 3.0;  // modeled cycles -> wall-clock sleep
+constexpr int64_t kBatchMax = 8;
+constexpr int64_t kBatchLingerUs = 300;
+
+fabric::QnnAccelerator build_batch_accelerator() {
+  fabric::QnnLayerSpec spec;
+  spec.in_channels = kBatchInputs;
+  spec.in_height = 1;
+  spec.in_width = 1;
+  spec.filters = kBatchFilters;
+  spec.kernel = 1;
+  spec.stride = 1;
+  spec.pad = 0;
+  spec.act_bits_in = 3;
+  spec.act_bits_out = 3;
+  spec.in_scale = 0.25f;
+  spec.out_scale = 0.5f;
+  Rng rng(2018);
+  Tensor w(Shape{kBatchFilters, kBatchInputs});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal();
+  // Thresholds spread over the accumulator range (~N(0, sqrt(K)*std of a
+  // code)) so the 3-bit outputs actually vary instead of saturating.
+  std::vector<fabric::ThresholdChannel> th(
+      static_cast<size_t>(kBatchFilters));
+  for (auto& ch : th)
+    for (int k = -3; k <= 3; ++k) ch.thresholds.push_back(k * 30);
+  fabric::QnnAccelerator accel;
+  accel.add_layer(spec, quant::binarize(w), std::move(th));
+  return accel;
+}
+
+/// Deterministic per-frame activation codes: both the serving path and
+/// the sequential reference derive a frame's input from its sequence.
+uint8_t batch_input_code(int64_t seq, int64_t i) {
+  uint64_t h = static_cast<uint64_t>(seq) * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(i) * 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 31;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 29;
+  return static_cast<uint8_t>(h & 7);
+}
+
+struct BatchArm {
+  double fps = 0.0;
+  int64_t frames = 0;        ///< frames through the engine stage
+  int64_t passes = 0;        ///< engine grants (gangs count once)
+  int64_t max_batch = 0;     ///< largest gang observed
+  double dma_per_frame = 0;  ///< modeled weight-DMA cycles per frame
+  int64_t dma_amortized = 0;
+  int64_t dma_saved = 0;
+  int64_t mismatches = 0;
+  bool consistent = true;    ///< fabric.dma_* vs batch_size histogram
+};
+
+BatchArm run_batch_arm(fabric::QnnAccelerator& accel, int streams,
+                       bool batched, const std::string& metrics_json) {
+  telemetry::MetricsRegistry registry;
+  accel.set_metrics(&registry);
+
+  const int64_t in_n = accel.input_shape().numel();
+  const int64_t out_n = accel.output_shape().numel();
+  const int64_t total =
+      static_cast<int64_t>(streams) * kBatchFramesPerStream;
+  const int64_t wdma = accel.layer_perf(0).weight_dma_cycles;
+
+  // Sequential per-frame reference (the existing forward_codes path).
+  std::vector<std::vector<uint8_t>> expected(static_cast<size_t>(total));
+  {
+    std::vector<uint8_t> input(static_cast<size_t>(in_n));
+    for (int64_t seq = 0; seq < total; ++seq) {
+      for (int64_t i = 0; i < in_n; ++i)
+        input[static_cast<size_t>(i)] = batch_input_code(seq, i);
+      expected[static_cast<size_t>(seq)] = accel.forward_codes(input);
+    }
+  }
+
+  std::atomic<int64_t> mismatches{0};
+  serve::ServerOptions opts;
+  opts.num_workers = 3 * streams;
+  opts.metrics = &registry;
+  opts.arbiter.max_batch = batched ? kBatchMax : 1;
+  opts.arbiter.batch_linger_us = batched ? kBatchLingerUs : 0;
+  serve::StreamServer server(opts);
+
+  auto engine_stage = [&]() {
+    serve::ServeStage st;
+    st.name = "engine";
+    st.uses_engine = true;
+    st.engine_layer = batched ? 0 : -1;
+    st.batch_work = [&accel, in_n, out_n](
+                        std::span<video::Frame* const> frames) {
+      const int64_t batch = static_cast<int64_t>(frames.size());
+      std::vector<uint8_t> in(static_cast<size_t>(batch * in_n));
+      std::vector<uint8_t> out(static_cast<size_t>(batch * out_n));
+      for (int64_t b = 0; b < batch; ++b)
+        for (int64_t i = 0; i < in_n; ++i)
+          in[static_cast<size_t>(b * in_n + i)] =
+              batch_input_code(frames[static_cast<size_t>(b)]->sequence, i);
+      accel.run_layer_batched(0, in, batch, out);
+      for (int64_t b = 0; b < batch; ++b) {
+        Tensor& feat = frames[static_cast<size_t>(b)]->features;
+        feat = Tensor(Shape{out_n});
+        for (int64_t i = 0; i < out_n; ++i)
+          feat[i] = static_cast<float>(out[static_cast<size_t>(b * out_n + i)]);
+      }
+      // One engine hold models one pass: weights stream once, compute
+      // and feature-map DMA scale with the batch.
+      const auto perf = accel.layer_perf_batched(0, batch);
+      const double ms = static_cast<double>(perf.total_cycles()) /
+                        (accel.cycle_model().clock_mhz * 1e3) *
+                        kBatchTimeScale;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    };
+    return st;
+  };
+
+  for (int i = 0; i < streams; ++i) {
+    serve::SessionConfig sc;
+    sc.stages.push_back(sleep_stage("pre", 2.0, false));
+    sc.stages.push_back(engine_stage());
+    sc.stages.push_back(sleep_stage("post", 2.0, false));
+    sc.queue_capacity = 4;
+    sc.deliver = [&expected, &mismatches, out_n](video::Frame&& f) {
+      const auto& exp = expected[static_cast<size_t>(f.sequence)];
+      if (f.features.numel() != out_n) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (int64_t i = 0; i < out_n; ++i)
+        if (f.features[i] != static_cast<float>(exp[static_cast<size_t>(i)])) {
+          mismatches.fetch_add(1);
+          return;
+        }
+    };
+    server.open_session(std::move(sc));
+  }
+  server.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<int64_t> sent(static_cast<size_t>(streams), 0);
+  int64_t remaining = total;
+  int64_t seq = 0;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int i = 0; i < streams; ++i) {
+      const auto ui = static_cast<size_t>(i);
+      if (sent[ui] == kBatchFramesPerStream) continue;
+      video::Frame f;
+      f.sequence = seq;
+      if (server.submit(i, std::move(f)) == serve::ServeResult::kAccepted) {
+        ++seq;
+        ++sent[ui];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  server.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.stop();
+
+  const auto snap = registry.snapshot();
+  BatchArm arm;
+  arm.fps = elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s : 0.0;
+  const auto* bs = snap.find_histogram("serve.arbiter.batch_size");
+  if (bs != nullptr && bs->stats.count > 0) {
+    arm.passes = bs->stats.count;
+    arm.frames = static_cast<int64_t>(bs->stats.sum + 0.5);
+    arm.max_batch = static_cast<int64_t>(bs->stats.max + 0.5);
+    arm.dma_per_frame = static_cast<double>(arm.passes * wdma) /
+                        static_cast<double>(arm.frames);
+  }
+  arm.dma_amortized = snap.counter_value("fabric.dma_amortized");
+  arm.dma_saved = snap.counter_value("fabric.dma_saved_cycles");
+  arm.mismatches = mismatches.load();
+  // Internal consistency: every coalesced frame beyond the first of its
+  // pass is one amortized weight stream, worth exactly wdma saved cycles.
+  arm.consistent = arm.frames == total &&
+                   arm.dma_amortized == arm.frames - arm.passes &&
+                   arm.dma_saved == arm.dma_amortized * wdma;
+  if (!metrics_json.empty()) telemetry::write_json(snap, metrics_json);
+  accel.set_metrics(nullptr);
+  return arm;
+}
+
+int run_batched(const std::string& json_path,
+                const std::string& metrics_json) {
+  fabric::QnnAccelerator accel = build_batch_accelerator();
+  const int64_t wdma = accel.layer_perf(0).weight_dma_cycles;
+  std::printf("cross-stream batched serving sweep (%" PRId64 "x%" PRId64
+              " layer, weight DMA %" PRId64 " cycles, max_batch %" PRId64
+              ", linger %" PRId64 " us)\n",
+              kBatchFilters, kBatchInputs, wdma, kBatchMax, kBatchLingerUs);
+  std::printf("%8s %14s %12s %9s %12s %10s %10s\n", "streams", "unbatched",
+              "batched fps", "speedup", "dma/frame", "passes", "max gang");
+
+  const int stream_counts[] = {1, 2, 4, 8};
+  BatchArm unbatched[4], batched[4];
+  bool pass = true;
+  for (int k = 0; k < 4; ++k) {
+    const int streams = stream_counts[k];
+    unbatched[k] = run_batch_arm(accel, streams, false, "");
+    batched[k] = run_batch_arm(accel, streams, true,
+                               streams == 8 ? metrics_json : "");
+    std::printf("%8d %11.1f fps %8.1f fps %8.2fx %12.1f %10" PRId64
+                " %10" PRId64 "\n",
+                streams, unbatched[k].fps, batched[k].fps,
+                unbatched[k].fps > 0.0 ? batched[k].fps / unbatched[k].fps
+                                       : 0.0,
+                batched[k].dma_per_frame, batched[k].passes,
+                batched[k].max_batch);
+    for (const BatchArm* arm : {&unbatched[k], &batched[k]}) {
+      if (arm->mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAILED: %" PRId64 " output mismatches vs the "
+                     "sequential per-frame path at %d streams\n",
+                     arm->mismatches, streams);
+        pass = false;
+      }
+      if (!arm->consistent) {
+        std::fprintf(stderr,
+                     "FAILED: fabric.dma_* inconsistent with the "
+                     "batch_size histogram at %d streams (frames %" PRId64
+                     ", passes %" PRId64 ", amortized %" PRId64
+                     ", saved %" PRId64 ")\n",
+                     streams, arm->frames, arm->passes, arm->dma_amortized,
+                     arm->dma_saved);
+        pass = false;
+      }
+    }
+  }
+
+  // Gate 1: modeled weight-DMA cycles per frame strictly decreasing with
+  // the stream count (more same-layer peers -> bigger gangs).
+  for (int k = 1; k < 4; ++k) {
+    if (!(batched[k].dma_per_frame < batched[k - 1].dma_per_frame)) {
+      std::fprintf(stderr,
+                   "FAILED: weight-DMA/frame not strictly decreasing: "
+                   "%.1f @ %d streams vs %.1f @ %d streams\n",
+                   batched[k].dma_per_frame, stream_counts[k],
+                   batched[k - 1].dma_per_frame, stream_counts[k - 1]);
+      pass = false;
+    }
+  }
+  // Gate 2: batching buys >= 1.5x aggregate throughput at 8 streams.
+  const double speedup8 =
+      unbatched[3].fps > 0.0 ? batched[3].fps / unbatched[3].fps : 0.0;
+  std::printf("8-stream batched speedup: %.2fx (gate: >= 1.5x), weight-DMA "
+              "per frame %.1f -> %.1f cycles\n",
+              speedup8, batched[0].dma_per_frame, batched[3].dma_per_frame);
+  if (speedup8 < 1.5) {
+    std::fprintf(stderr,
+                 "FAILED: 8-stream batched %.1f fps < 1.5x unbatched "
+                 "%.1f fps\n",
+                 batched[3].fps, unbatched[3].fps);
+    pass = false;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"schema\": \"tincy-bench-multistream-v1\",\n"
+        << "  \"weight_dma_cycles\": " << wdma
+        << ",\n  \"max_batch\": " << kBatchMax
+        << ",\n  \"batch_linger_us\": " << kBatchLingerUs
+        << ",\n  \"frames_per_stream\": " << kBatchFramesPerStream
+        << ",\n  \"sweep\": [";
+    for (int k = 0; k < 4; ++k) {
+      out << (k == 0 ? "" : ",") << "\n    {\"streams\": "
+          << stream_counts[k]
+          << ", \"unbatched_fps\": " << unbatched[k].fps
+          << ", \"batched_fps\": " << batched[k].fps
+          << ",\n     \"dma_per_frame_unbatched\": "
+          << unbatched[k].dma_per_frame
+          << ", \"dma_per_frame_batched\": " << batched[k].dma_per_frame
+          << ",\n     \"passes\": " << batched[k].passes
+          << ", \"max_batch_seen\": " << batched[k].max_batch
+          << ", \"dma_saved_cycles\": " << batched[k].dma_saved << "}";
+    }
+    out << "\n  ],\n  \"speedup_8_streams\": " << speedup8
+        << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "batched: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!pass) return 1;
+  std::printf("batched: PASS — DMA/frame strictly decreasing, >= 1.5x at 8 "
+              "streams, bit-identical outputs\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Soak mode.
 // ---------------------------------------------------------------------------
 
@@ -192,6 +513,33 @@ serve::ServeStage jitter_stage(const std::string& name, int64_t base_us,
           engine};
 }
 
+/// Gang-schedulable engine stage for the soak: all sessions run "the same
+/// offloaded layer" (engine_layer 0), so frames of different sessions
+/// coalesce into one grant under churn. The sleep models one pass: the
+/// base cost paid once per gang plus deterministic per-frame jitter, and
+/// every frame of the gang is tallied so the post-run assertions can
+/// balance the batch_size histogram against actual executions.
+serve::ServeStage gang_stage(int64_t base_us, int64_t jitter_us,
+                             std::shared_ptr<std::atomic<int64_t>> ganged) {
+  serve::ServeStage st;
+  st.name = "engine";
+  st.uses_engine = true;
+  st.engine_layer = 0;
+  st.batch_work = [base_us, jitter_us,
+                   ganged](std::span<video::Frame* const> frames) {
+    int64_t us = base_us;
+    for (const video::Frame* f : frames) {
+      const uint64_t h =
+          static_cast<uint64_t>(f->sequence) * 0x9E3779B97F4A7C15ull;
+      us += static_cast<int64_t>(h % static_cast<uint64_t>(jitter_us)) /
+            static_cast<int64_t>(frames.size());
+    }
+    ganged->fetch_add(static_cast<int64_t>(frames.size()));
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  };
+  return st;
+}
+
 /// Poisoned final stage: the n-th execution throws, which must quarantine
 /// this session only.
 serve::ServeStage poison_stage(const std::string& session_name,
@@ -218,8 +566,14 @@ int run_soak(const SoakConfig& cfg) {
   serve::ServerOptions opts;
   opts.num_workers = 4;
   opts.overload_policy = serve::OverloadPolicy::kShedOldest;
+  // Gang scheduling under churn: every session's engine stage names the
+  // same offloaded layer, so batches form whenever several streams have a
+  // frame waiting there.
+  opts.arbiter.max_batch = 4;
+  opts.arbiter.batch_linger_us = 150;
   opts.metrics = &registry;
   serve::StreamServer server(opts);
+  auto ganged_frames = std::make_shared<std::atomic<int64_t>>(0);
 
   // Spread the poisoned sessions evenly across the run.
   const int64_t stride =
@@ -251,7 +605,7 @@ int run_soak(const SoakConfig& cfg) {
     sc.priority = rng.bernoulli(0.1) ? 1 : 0;  // a high-priority tier mix
     sc.queue_capacity = 4;
     sc.stages.push_back(jitter_stage("pre", 80, 120, false));
-    sc.stages.push_back(jitter_stage("engine", 60, 40, true));
+    sc.stages.push_back(gang_stage(60, 40, ganged_frames));
     if (r.poisoned)
       sc.stages.push_back(poison_stage(r.name, /*fault_at=*/2));
     else if (rng.bernoulli(0.8))
@@ -411,6 +765,23 @@ int run_soak(const SoakConfig& cfg) {
     }
   }
 
+  // Gang-scheduling probes: batches must actually have formed under
+  // churn, and the batch_size histogram must balance frame-for-frame with
+  // the engine executions the stages counted.
+  int64_t gang_passes = 0, gang_frames = 0, gang_max = 0;
+  if (const auto* bs = snap.find_histogram("serve.arbiter.batch_size");
+      bs != nullptr && bs->stats.count > 0) {
+    gang_passes = bs->stats.count;
+    gang_frames = static_cast<int64_t>(bs->stats.sum + 0.5);
+    gang_max = static_cast<int64_t>(bs->stats.max + 0.5);
+  }
+  if (gang_max <= 1)
+    violation("no gang larger than one frame formed during the soak");
+  if (gang_frames != ganged_frames->load())
+    violation("batch_size histogram covers " + std::to_string(gang_frames) +
+              " frames but engine stages ran " +
+              std::to_string(ganged_frames->load()));
+
   if (!cfg.metrics_json.empty())
     telemetry::write_json(snap, cfg.metrics_json);
 
@@ -423,6 +794,9 @@ int run_soak(const SoakConfig& cfg) {
               "%lld\n",
               worst_p99, cfg.p99_ms,
               static_cast<long long>(server.arbiter().grants()));
+  std::printf("soak: %" PRId64 " engine passes over %" PRId64
+              " frames (largest gang %" PRId64 ")\n",
+              gang_passes, gang_frames, gang_max);
   if (violations != 0) {
     std::fprintf(stderr, "FAILED: %" PRId64 " soak violations\n", violations);
     return 1;
@@ -436,6 +810,8 @@ int run_soak(const SoakConfig& cfg) {
 
 int main(int argc, char** argv) {
   bool soak = false;
+  bool batched = false;
+  std::string batched_json = "BENCH_multistream.json";
   SoakConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -447,6 +823,10 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--soak") == 0) {
       soak = true;
+    } else if (std::strcmp(argv[i], "--batched") == 0) {
+      batched = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      batched_json = need("--json");
     } else if (std::strcmp(argv[i], "--sessions") == 0) {
       cfg.sessions = std::atoll(need("--sessions"));
     } else if (std::strcmp(argv[i], "--concurrent") == 0) {
@@ -463,10 +843,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: multistream [--soak [--sessions N] "
                    "[--concurrent N] [--seed S] [--faults N] [--p99-ms X] "
+                   "[--metrics-json PATH]] | [--batched [--json PATH] "
                    "[--metrics-json PATH]]\n");
       return 2;
     }
   }
+  if (batched) return run_batched(batched_json, cfg.metrics_json);
   if (!soak) return run_sweep();
   if (cfg.sessions < 1 || cfg.concurrent < 1 || cfg.faults < 0 ||
       cfg.faults > cfg.sessions || cfg.p99_ms <= 0.0) {

@@ -29,7 +29,17 @@ Shape QnnLayerSpec::output_shape() const {
 }
 
 QnnAccelerator::QnnAccelerator(CycleModel model, Device device)
-    : model_(model), device_(device) {}
+    : model_(model), device_(device) {
+  set_metrics(nullptr);
+}
+
+void QnnAccelerator::set_metrics(telemetry::MetricsRegistry* metrics) {
+  auto* reg = metrics ? metrics : &telemetry::MetricsRegistry::global();
+  dma_amortized_counter_ = &reg->counter("fabric.dma_amortized");
+  dma_saved_counter_ = &reg->counter("fabric.dma_saved_cycles");
+  batched_passes_counter_ = &reg->counter("fabric.batched_passes");
+  batched_frames_counter_ = &reg->counter("fabric.batched_frames");
+}
 
 void QnnAccelerator::add_layer(const QnnLayerSpec& spec,
                                quant::BinaryMatrix weights,
@@ -89,38 +99,73 @@ Shape QnnAccelerator::output_shape() const {
 
 std::vector<uint8_t> QnnAccelerator::forward_codes(
     const std::vector<uint8_t>& input) const {
-  TINCY_CHECK(!layers_.empty());
-  TINCY_CHECK(static_cast<int64_t>(input.size()) == input_shape().numel());
+  return forward_codes_batched(input, 1);
+}
 
-  std::vector<uint8_t> current = input;
-  for (const Stage& stage : layers_) {
-    const auto& s = stage.spec;
-    const int64_t n = stage.swu.num_columns();
-    const int64_t rows = stage.mvtu.rows();
-    const int64_t conv_h = s.conv_out_height(), conv_w = s.conv_out_width();
+void QnnAccelerator::run_layer_batched(int64_t i,
+                                       std::span<const uint8_t> inputs,
+                                       int64_t batch,
+                                       std::span<uint8_t> outputs) const {
+  TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
+  TINCY_CHECK_MSG(batch >= 1, "batch " << batch);
+  const Stage& stage = layers_[static_cast<size_t>(i)];
+  const auto& s = stage.spec;
+  const int64_t in_numel = s.in_channels * s.in_height * s.in_width;
+  const int64_t out_numel = s.output_shape().numel();
+  TINCY_CHECK(static_cast<int64_t>(inputs.size()) == batch * in_numel);
+  TINCY_CHECK(static_cast<int64_t>(outputs.size()) == batch * out_numel);
 
-    // Layer-at-a-time: the full conv output is produced before pooling and
-    // before the next layer starts (no cross-layer concurrency).
-    std::vector<uint8_t> column(static_cast<size_t>(stage.swu.column_size()));
-    std::vector<uint8_t> out_col(static_cast<size_t>(rows));
-    std::vector<uint8_t> conv_out(static_cast<size_t>(rows * n));
-    for (int64_t j = 0; j < n; ++j) {
-      stage.swu.emit_column(current, j, column);
-      stage.mvtu.compute(column, out_col);
+  const int64_t n = stage.swu.num_columns();
+  const int64_t rows = stage.mvtu.rows();
+  const int64_t conv_h = s.conv_out_height(), conv_w = s.conv_out_width();
+
+  // One weight-streaming phase covers the whole batch: for every output
+  // position the SWU emits each frame's footprint and the MVTU applies
+  // the resident weights to all of them before moving on. Layer-at-a-time
+  // semantics per frame are unchanged (no cross-layer concurrency).
+  std::vector<uint8_t> columns(
+      static_cast<size_t>(batch * stage.swu.column_size()));
+  std::vector<uint8_t> out_cols(static_cast<size_t>(batch * rows));
+  std::vector<uint8_t> conv_out(static_cast<size_t>(batch * rows * n));
+  for (int64_t j = 0; j < n; ++j) {
+    stage.swu.emit_column_batch(inputs, batch, j, columns);
+    stage.mvtu.compute_batch(columns, batch, out_cols);
+    for (int64_t f = 0; f < batch; ++f)
       for (int64_t r = 0; r < rows; ++r)
-        conv_out[static_cast<size_t>(r * n + j)] =
-            out_col[static_cast<size_t>(r)];
-    }
+        conv_out[static_cast<size_t>((f * rows + r) * n + j)] =
+            out_cols[static_cast<size_t>(f * rows + r)];
+  }
 
-    if (s.pool_after) {
-      const PoolSpec p{rows, conv_h, conv_w, s.pool_size, s.pool_stride};
-      std::vector<uint8_t> pooled(
-          static_cast<size_t>(rows * p.out_height() * p.out_width()));
-      max_pool_codes(p, conv_out, pooled);
-      current = std::move(pooled);
-    } else {
-      current = std::move(conv_out);
-    }
+  if (s.pool_after) {
+    const PoolSpec p{rows, conv_h, conv_w, s.pool_size, s.pool_stride};
+    max_pool_codes_batch(p, conv_out, outputs, batch);
+  } else {
+    std::copy(conv_out.begin(), conv_out.end(), outputs.begin());
+  }
+
+  if (batch > 1) {
+    // A sequential per-frame run would have streamed the weights batch
+    // times; this pass streamed them once.
+    batched_passes_counter_->add(1);
+    batched_frames_counter_->add(batch);
+    dma_amortized_counter_->add(batch - 1);
+    dma_saved_counter_->add((batch - 1) * layer_perf(i).weight_dma_cycles);
+  }
+}
+
+std::vector<uint8_t> QnnAccelerator::forward_codes_batched(
+    const std::vector<uint8_t>& inputs, int64_t batch) const {
+  TINCY_CHECK(!layers_.empty());
+  TINCY_CHECK_MSG(batch >= 1, "batch " << batch);
+  TINCY_CHECK(static_cast<int64_t>(inputs.size()) ==
+              batch * input_shape().numel());
+  std::vector<uint8_t> current = inputs;
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    const int64_t out_numel =
+        layers_[static_cast<size_t>(i)].spec.output_shape().numel();
+    std::vector<uint8_t> next(static_cast<size_t>(batch * out_numel));
+    run_layer_batched(i, current, batch, next);
+    current = std::move(next);
   }
   return current;
 }
@@ -185,6 +230,18 @@ LayerPerf QnnAccelerator::layer_perf(int64_t i) const {
                       s.pool_size, s.pool_stride};
     p.pool_cycles = pool_cycles(ps, model_.folding.pe);
   }
+  return p;
+}
+
+LayerPerf QnnAccelerator::layer_perf_batched(int64_t i, int64_t batch) const {
+  TINCY_CHECK_MSG(batch >= 1, "batch " << batch);
+  LayerPerf p = layer_perf(i);
+  p.batch = batch;
+  // Per-frame work scales; the weight stream and the invocation overhead
+  // are paid once for the whole gang.
+  p.compute_cycles *= batch;
+  p.fmap_dma_cycles *= batch;
+  p.pool_cycles *= batch;
   return p;
 }
 

@@ -13,6 +13,7 @@
 /// invocation overhead) instead of a bitstream.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/tensor.hpp"
@@ -21,6 +22,7 @@
 #include "fabric/pool_unit.hpp"
 #include "fabric/resource_model.hpp"
 #include "fabric/sliding_window.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tincy::fabric {
 
@@ -60,17 +62,32 @@ struct CycleModel {
   int64_t invocation_overhead_cycles = 150000;
 };
 
-/// Per-layer timing breakdown.
+/// Per-layer timing breakdown of one engine pass over `batch` frames.
+/// compute / feature-map DMA / pool scale with the batch; the weight
+/// stream and the invocation overhead are paid once per pass — that
+/// amortization is the whole point of gang-scheduled batching.
 struct LayerPerf {
-  int64_t compute_cycles = 0;
-  int64_t weight_dma_cycles = 0;
-  int64_t fmap_dma_cycles = 0;
-  int64_t overhead_cycles = 0;
-  int64_t pool_cycles = 0;
+  int64_t batch = 1;               ///< frames covered by this pass
+  int64_t compute_cycles = 0;      ///< scales with batch
+  int64_t weight_dma_cycles = 0;   ///< one weight-streaming phase per pass
+  int64_t fmap_dma_cycles = 0;     ///< scales with batch
+  int64_t overhead_cycles = 0;     ///< one invocation per pass
+  int64_t pool_cycles = 0;         ///< scales with batch
 
   int64_t total_cycles() const {
     return compute_cycles + weight_dma_cycles + fmap_dma_cycles +
            overhead_cycles + pool_cycles;
+  }
+  double cycles_per_frame() const {
+    return static_cast<double>(total_cycles()) / static_cast<double>(batch);
+  }
+  double weight_dma_per_frame() const {
+    return static_cast<double>(weight_dma_cycles) /
+           static_cast<double>(batch);
+  }
+  /// Weight-DMA cycles a sequential per-frame run would have paid extra.
+  int64_t dma_saved_cycles() const {
+    return (batch - 1) * weight_dma_cycles;
   }
 };
 
@@ -93,12 +110,29 @@ class QnnAccelerator {
   /// Bit-exact execution over activation codes (CHW, one code per byte).
   std::vector<uint8_t> forward_codes(const std::vector<uint8_t>& input) const;
 
+  /// Executes layer `i` over `batch` stacked input code maps with a
+  /// single weight-streaming phase (weights resident across the batch,
+  /// compute per frame). Bit-identical to running the layer per frame;
+  /// records the fabric.dma_* amortization telemetry when batch > 1.
+  void run_layer_batched(int64_t i, std::span<const uint8_t> inputs,
+                         int64_t batch, std::span<uint8_t> outputs) const;
+
+  /// Whole-network batched execution: layer-at-a-time across the batch,
+  /// each layer one weight-streaming phase. forward_codes(x) is exactly
+  /// forward_codes_batched(x, 1).
+  std::vector<uint8_t> forward_codes_batched(
+      const std::vector<uint8_t>& inputs, int64_t batch) const;
+
   /// Convenience float wrapper: quantizes the input onto the first layer's
   /// grid, runs the code path, dequantizes with the last layer's grid.
   Tensor forward(const Tensor& input) const;
 
-  /// Timing of one layer under the cycle model.
+  /// Timing of one layer under the cycle model (== layer_perf_batched(i, 1)).
   LayerPerf layer_perf(int64_t i) const;
+  /// Timing of one gang-scheduled pass of layer `i` over `batch` frames:
+  /// weights stream and the invocation overhead is paid once, compute and
+  /// feature-map DMA scale with the batch.
+  LayerPerf layer_perf_batched(int64_t i, int64_t batch) const;
   /// Total modeled milliseconds for all offloaded layers of one frame.
   double total_ms() const;
 
@@ -110,6 +144,11 @@ class QnnAccelerator {
   const CycleModel& cycle_model() const { return model_; }
   const Device& device() const { return device_; }
 
+  /// Redirects the fabric.* batching telemetry (fabric.dma_amortized,
+  /// fabric.dma_saved_cycles, fabric.batched_passes, fabric.batched_frames)
+  /// to `metrics`; null selects the process-wide default registry.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct Stage {
     QnnLayerSpec spec;
@@ -120,6 +159,10 @@ class QnnAccelerator {
   CycleModel model_;
   Device device_;
   std::vector<Stage> layers_;
+  telemetry::Counter* dma_amortized_counter_;
+  telemetry::Counter* dma_saved_counter_;
+  telemetry::Counter* batched_passes_counter_;
+  telemetry::Counter* batched_frames_counter_;
 };
 
 }  // namespace tincy::fabric

@@ -58,4 +58,51 @@ void Mvtu::compute(std::span<const uint8_t> column,
         thresholds_[static_cast<size_t>(r)].apply(acc[static_cast<size_t>(r)]);
 }
 
+void Mvtu::accumulate_batch(std::span<const uint8_t> columns, int64_t batch,
+                            std::span<int32_t> acc) const {
+  TINCY_CHECK_MSG(batch >= 1, "batch " << batch);
+  TINCY_CHECK(static_cast<int64_t>(columns.size()) == batch * cols());
+  TINCY_CHECK(static_cast<int64_t>(acc.size()) == batch * rows());
+  // Decompose every frame's column up front; the row loops below then
+  // model the weights staying resident while the whole batch streams
+  // through (row outer, frame inner).
+  std::vector<std::vector<BitVector>> planes;
+  planes.reserve(static_cast<size_t>(batch));
+  for (int64_t f = 0; f < batch; ++f)
+    planes.push_back(quant::to_bitplanes(columns.data() + f * cols(), cols(),
+                                         act_bits_in_));
+  if (encoding_ == ActEncoding::kBipolar) {
+    for (int64_t r = 0; r < rows(); ++r)
+      for (int64_t f = 0; f < batch; ++f)
+        acc[static_cast<size_t>(f * rows() + r)] = static_cast<int32_t>(
+            2 * xnor_popcount(weights_.row_bits[static_cast<size_t>(r)],
+                              planes[static_cast<size_t>(f)][0]) -
+            cols());
+    return;
+  }
+  for (int64_t r = 0; r < rows(); ++r) {
+    for (int64_t f = 0; f < batch; ++f) {
+      int64_t sum = 0;
+      for (int b = 0; b < act_bits_in_; ++b)
+        sum += static_cast<int64_t>(quant::dot_bitplane(
+                   weights_, r,
+                   planes[static_cast<size_t>(f)][static_cast<size_t>(b)]))
+               << b;
+      acc[static_cast<size_t>(f * rows() + r)] = static_cast<int32_t>(sum);
+    }
+  }
+}
+
+void Mvtu::compute_batch(std::span<const uint8_t> columns, int64_t batch,
+                         std::span<uint8_t> out) const {
+  TINCY_CHECK(static_cast<int64_t>(out.size()) == batch * rows());
+  std::vector<int32_t> acc(static_cast<size_t>(batch * rows()));
+  accumulate_batch(columns, batch, acc);
+  for (int64_t f = 0; f < batch; ++f)
+    for (int64_t r = 0; r < rows(); ++r)
+      out[static_cast<size_t>(f * rows() + r)] =
+          thresholds_[static_cast<size_t>(r)].apply(
+              acc[static_cast<size_t>(f * rows() + r)]);
+}
+
 }  // namespace tincy::fabric

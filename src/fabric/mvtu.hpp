@@ -61,6 +61,16 @@ class Mvtu {
   void accumulate(std::span<const uint8_t> column,
                   std::span<int32_t> acc) const;
 
+  /// Batched form over `batch` stacked input columns (`columns` holds
+  /// batch × cols() codes, `out` receives batch × rows() codes). Models a
+  /// weight-resident pass: every weight row is fetched once and applied
+  /// to all frames before the next row streams in, so the weight load is
+  /// paid once per batch. Bit-identical to calling compute() per frame.
+  void compute_batch(std::span<const uint8_t> columns, int64_t batch,
+                     std::span<uint8_t> out) const;
+  void accumulate_batch(std::span<const uint8_t> columns, int64_t batch,
+                        std::span<int32_t> acc) const;
+
   /// Cycle cost of one column under the given folding.
   int64_t cycles_per_column(const Folding& f) const {
     return fold_cycles_per_vector({rows(), cols()}, f, act_bits_in_);

@@ -39,6 +39,21 @@ void max_pool_codes(const PoolSpec& spec, std::span<const uint8_t> in,
   }
 }
 
+void max_pool_codes_batch(const PoolSpec& spec, std::span<const uint8_t> in,
+                          std::span<uint8_t> out, int64_t batch) {
+  TINCY_CHECK(batch >= 1);
+  const int64_t in_size = spec.channels * spec.in_height * spec.in_width;
+  const int64_t out_size = spec.channels * spec.out_height() * spec.out_width();
+  TINCY_CHECK(static_cast<int64_t>(in.size()) == batch * in_size);
+  TINCY_CHECK(static_cast<int64_t>(out.size()) == batch * out_size);
+  for (int64_t f = 0; f < batch; ++f)
+    max_pool_codes(spec,
+                   in.subspan(static_cast<size_t>(f * in_size),
+                              static_cast<size_t>(in_size)),
+                   out.subspan(static_cast<size_t>(f * out_size),
+                               static_cast<size_t>(out_size)));
+}
+
 int64_t pool_cycles(const PoolSpec& spec, int64_t pe) {
   TINCY_CHECK(pe > 0);
   const int64_t groups = (spec.channels + pe - 1) / pe;

@@ -32,6 +32,10 @@ struct PoolSpec {
 void max_pool_codes(const PoolSpec& spec, std::span<const uint8_t> in,
                     std::span<uint8_t> out);
 
+/// Batched form: `in` / `out` hold `batch` stacked CHW code maps.
+void max_pool_codes_batch(const PoolSpec& spec, std::span<const uint8_t> in,
+                          std::span<uint8_t> out, int64_t batch);
+
 /// Cycle cost: one comparison tree evaluation per output pixel per channel
 /// group of `pe` channels processed in parallel.
 int64_t pool_cycles(const PoolSpec& spec, int64_t pe);

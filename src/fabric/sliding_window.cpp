@@ -35,4 +35,20 @@ void SlidingWindowUnit::emit_column(std::span<const uint8_t> image,
   }
 }
 
+void SlidingWindowUnit::emit_column_batch(std::span<const uint8_t> images,
+                                          int64_t batch, int64_t index,
+                                          std::span<uint8_t> columns) const {
+  TINCY_CHECK_MSG(batch >= 1, "batch " << batch);
+  const int64_t image_size =
+      geom_.in_channels * geom_.in_height * geom_.in_width;
+  TINCY_CHECK(static_cast<int64_t>(images.size()) == batch * image_size);
+  TINCY_CHECK(static_cast<int64_t>(columns.size()) == batch * column_size());
+  for (int64_t f = 0; f < batch; ++f)
+    emit_column(images.subspan(static_cast<size_t>(f * image_size),
+                               static_cast<size_t>(image_size)),
+                index,
+                columns.subspan(static_cast<size_t>(f * column_size()),
+                                static_cast<size_t>(column_size())));
+}
+
 }  // namespace tincy::fabric

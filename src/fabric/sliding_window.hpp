@@ -29,6 +29,11 @@ class SlidingWindowUnit {
   void emit_column(std::span<const uint8_t> image, int64_t index,
                    std::span<uint8_t> column) const;
 
+  /// Batched form: `images` holds `batch` stacked CHW code maps; column
+  /// `index` of frame f lands at `columns.subspan(f * column_size())`.
+  void emit_column_batch(std::span<const uint8_t> images, int64_t batch,
+                         int64_t index, std::span<uint8_t> columns) const;
+
   /// Cycles to stream one column at `simd` codes per cycle.
   int64_t cycles_per_column(int64_t simd) const {
     return (column_size() + simd - 1) / simd;

@@ -35,6 +35,14 @@ class TernaryMvtu {
   /// Thresholded output codes for one input column.
   void compute(std::span<const uint8_t> column, std::span<uint8_t> out) const;
 
+  /// Batched form over `batch` stacked input columns — both weight planes
+  /// stay resident while the whole batch streams through (see
+  /// Mvtu::compute_batch). Bit-identical to per-frame compute().
+  void compute_batch(std::span<const uint8_t> columns, int64_t batch,
+                     std::span<uint8_t> out) const;
+  void accumulate_batch(std::span<const uint8_t> columns, int64_t batch,
+                        std::span<int32_t> acc) const;
+
   /// Cycle cost per column — identical folding to the binary MVTU (the
   /// second weight plane rides along in the same cycle).
   int64_t cycles_per_column(const Folding& f) const {

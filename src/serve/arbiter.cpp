@@ -6,10 +6,17 @@
 
 namespace tincy::serve {
 
-EngineArbiter::EngineArbiter(telemetry::MetricsRegistry* metrics) {
+EngineArbiter::EngineArbiter(telemetry::MetricsRegistry* metrics,
+                             ArbiterOptions options)
+    : options_(options) {
+  TINCY_CHECK_MSG(options_.max_batch >= 1,
+                  "max_batch " << options_.max_batch);
+  TINCY_CHECK_MSG(options_.batch_linger_us >= 0,
+                  "batch_linger_us " << options_.batch_linger_us);
   auto* reg = metrics ? metrics : &telemetry::MetricsRegistry::global();
   grants_counter_ = &reg->counter("serve.arbiter.grants");
   queue_depth_gauge_ = &reg->gauge("serve.arbiter.queue_depth");
+  batch_size_hist_ = &reg->histogram("serve.arbiter.batch_size");
 }
 
 double EngineArbiter::effective_vtime_locked(const SessionState& s) const {
@@ -26,7 +33,7 @@ void EngineArbiter::add_session(int64_t session, int weight, int priority) {
   std::lock_guard lock(mutex_);
   TINCY_CHECK_MSG(!sessions_.contains(session),
                   "session " << session << " already registered");
-  sessions_[session] = SessionState{weight, priority, vtime_floor_, false};
+  sessions_[session] = SessionState{weight, priority, vtime_floor_, false, -1};
 }
 
 void EngineArbiter::remove_session(int64_t session) {
@@ -39,11 +46,15 @@ void EngineArbiter::remove_session(int64_t session) {
     --pending_count_;
     queue_depth_gauge_->set(static_cast<double>(pending_count_));
   }
+  // Erasing the session also purges its (session, layer) gang-queue
+  // entry: gang formation looks candidates up here, so a removed session
+  // can never be included in a batch forming after this call.
   sessions_.erase(it);
 }
 
-bool EngineArbiter::try_acquire(int64_t session) {
-  std::lock_guard lock(mutex_);
+bool EngineArbiter::acquire_locked(int64_t session, int64_t layer,
+                                   std::span<const int64_t> candidates,
+                                   std::vector<int64_t>* gang) {
   const auto it = sessions_.find(session);
   TINCY_CHECK_MSG(it != sessions_.end(), "unknown session " << session);
   SessionState& mine = it->second;
@@ -54,18 +65,50 @@ bool EngineArbiter::try_acquire(int64_t session) {
       ++pending_count_;
       queue_depth_gauge_->set(static_cast<double>(pending_count_));
     }
+    mine.pending_layer = layer;  // the (session, layer) gang-queue entry
     return false;
   };
 
   if (holder_ >= 0) return refuse();
 
+  // Tentative gang: the leader plus up to max_batch − 1 of the caller's
+  // candidates, in arbitration-preference order (priority desc, virtual
+  // time asc, id asc). Candidates the arbiter does not know — churned
+  // away between the caller's scan and this call — are skipped.
+  std::vector<int64_t> members{session};
+  if (layer >= 0 && options_.max_batch > 1) {
+    std::vector<int64_t> elig;
+    for (const int64_t id : candidates) {
+      if (id == session || !sessions_.contains(id)) continue;
+      if (std::find(elig.begin(), elig.end(), id) == elig.end())
+        elig.push_back(id);
+    }
+    std::sort(elig.begin(), elig.end(), [&](int64_t a, int64_t b) {
+      const SessionState& sa = sessions_.find(a)->second;
+      const SessionState& sb = sessions_.find(b)->second;
+      if (sa.priority != sb.priority) return sa.priority > sb.priority;
+      const double va = effective_vtime_locked(sa);
+      const double vb = effective_vtime_locked(sb);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    for (const int64_t id : elig) {
+      if (static_cast<int64_t>(members.size()) >= options_.max_batch) break;
+      members.push_back(id);
+    }
+  }
+
   // The engine is free: yield to any pending session with a stronger
   // claim — a higher priority tier, or the same tier and a smaller
   // virtual time (or an equal one and a smaller id): it asked first under
-  // the round-robin discipline and a worker will claim it next.
+  // the round-robin discipline and a worker will claim it next. A
+  // claimant that rides along in this gang does not block it — being
+  // granted as a gang member is at least as good as leading.
   const double mine_vt = effective_vtime_locked(mine);
   for (const auto& [id, other] : sessions_) {
     if (id == session || !other.pending) continue;
+    if (std::find(members.begin() + 1, members.end(), id) != members.end())
+      continue;
     if (other.priority > mine.priority) return refuse();
     if (other.priority < mine.priority) continue;
     const double other_vt = effective_vtime_locked(other);
@@ -73,17 +116,61 @@ bool EngineArbiter::try_acquire(int64_t session) {
       return refuse();
   }
 
-  if (mine.pending) {
-    mine.pending = false;
-    --pending_count_;
-    queue_depth_gauge_->set(static_cast<double>(pending_count_));
+  // Batch linger: a partial gang may hold off briefly — engine free — to
+  // let more same-layer peers arrive, bounded by batch_linger_us. Only
+  // worthwhile while sessions outside the gang exist. A linger whose
+  // deadline already passed (including one gone stale because no leader
+  // re-attempted) grants immediately.
+  if (layer >= 0 && options_.max_batch > 1 && options_.batch_linger_us > 0 &&
+      static_cast<int64_t>(members.size()) < options_.max_batch &&
+      sessions_.size() > members.size()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!linger_active_ || linger_layer_ != layer) {
+      linger_active_ = true;
+      linger_layer_ = layer;
+      linger_deadline_ =
+          now + std::chrono::microseconds(options_.batch_linger_us);
+      return refuse();
+    }
+    if (now < linger_deadline_) return refuse();
   }
-  holder_ = session;
+  linger_active_ = false;
+
+  // Grant the whole gang under one engine hold. The floor advances to the
+  // leader's effective virtual time (as for single grants); every member
+  // — leader included — pays one grant's worth of virtual time, so the
+  // weighted deficit accounting treats a ganged frame exactly like a solo
+  // one.
   vtime_floor_ = mine_vt;
-  mine.vtime = mine_vt + 1.0 / static_cast<double>(mine.weight);
+  for (const int64_t id : members) {
+    SessionState& m = sessions_.find(id)->second;
+    if (m.pending) {
+      m.pending = false;
+      --pending_count_;
+    }
+    m.pending_layer = -1;
+    m.vtime = effective_vtime_locked(m) + 1.0 / static_cast<double>(m.weight);
+  }
+  queue_depth_gauge_->set(static_cast<double>(pending_count_));
+  holder_ = session;
   ++grants_;
   grants_counter_->add(1);
+  batch_size_hist_->record(static_cast<double>(members.size()));
+  if (gang) *gang = std::move(members);
   return true;
+}
+
+bool EngineArbiter::try_acquire(int64_t session) {
+  std::lock_guard lock(mutex_);
+  return acquire_locked(session, /*layer=*/-1, {}, nullptr);
+}
+
+bool EngineArbiter::try_acquire_gang(int64_t session, int64_t layer,
+                                     std::span<const int64_t> candidates,
+                                     std::vector<int64_t>& gang) {
+  std::lock_guard lock(mutex_);
+  gang.clear();
+  return acquire_locked(session, layer, candidates, &gang);
 }
 
 void EngineArbiter::release(int64_t session) {
@@ -97,7 +184,9 @@ void EngineArbiter::release(int64_t session) {
 void EngineArbiter::cancel(int64_t session) {
   std::lock_guard lock(mutex_);
   const auto it = sessions_.find(session);
-  if (it == sessions_.end() || !it->second.pending) return;
+  if (it == sessions_.end()) return;
+  it->second.pending_layer = -1;
+  if (!it->second.pending) return;
   it->second.pending = false;
   --pending_count_;
   queue_depth_gauge_->set(static_cast<double>(pending_count_));
@@ -116,6 +205,17 @@ int64_t EngineArbiter::pending() const {
 bool EngineArbiter::busy() const {
   std::lock_guard lock(mutex_);
   return holder_ >= 0;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+EngineArbiter::linger_deadline() const {
+  std::lock_guard lock(mutex_);
+  if (!linger_active_) return std::nullopt;
+  // An expired linger grants on the next attempt; reporting it would make
+  // timed waiters spin on a deadline in the past.
+  if (std::chrono::steady_clock::now() >= linger_deadline_)
+    return std::nullopt;
+  return linger_deadline_;
 }
 
 }  // namespace tincy::serve

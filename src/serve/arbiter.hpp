@@ -19,28 +19,64 @@
 ///     receives twice the grants of a weight-1 peer under saturation,
 ///     and no pending session of the top contending tier starves.
 ///
+/// **Gang scheduling** (ArbiterOptions::max_batch > 1): every layer pass
+/// re-streams that layer's weights over DMA, so when several sessions
+/// have a frame waiting at the *same* layer the arbiter coalesces them
+/// into one grant — the leader wins arbitration exactly as above, then
+/// takes along up to max_batch − 1 same-layer peers (ordered by the same
+/// priority/vtime preference). Every ganged frame costs its session a
+/// full grant's worth of virtual time, so weighted fairness is
+/// preserved. A same-layer peer with a stronger pending claim does not
+/// block the leader — it rides along in the gang instead (the
+/// anti-starvation bonus of batching). batch_linger_us bounds how long a
+/// grantable leader holds the free engine waiting for more peers before
+/// settling for a partial batch, so latency SLOs hold; with linger 0 a
+/// gang is formed only from frames that are already waiting.
+///
 /// Sessions can come and go while the arbiter is live (serving churn):
-/// add_session registers at the current virtual-time floor, remove()
-/// forgets a drained session entirely.
+/// add_session registers at the current virtual-time floor, and
+/// remove_session forgets a drained session entirely — including its
+/// pending (session, layer) gang-queue entry, so a closed session can
+/// never be included in a forming batch.
 ///
 /// Maturity ordering *within* a stream stays the StreamServer's job; the
-/// arbiter is deliberately unaware of stages and frames.
+/// arbiter is aware of layer *identities* (for coalescing) but never of
+/// stages or frames.
 ///
 /// Telemetry (registry handed at construction, default global):
 ///   serve.arbiter.grants       counter, one per successful acquire
+///                              (a gang is one grant)
 ///   serve.arbiter.queue_depth  gauge, sessions waiting for the engine
+///   serve.arbiter.batch_size   histogram, frames per grant (1 when no
+///                              coalescing happened)
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 
 namespace tincy::serve {
 
+/// Gang-scheduling knobs (see docs/ARCHITECTURE.md §6).
+struct ArbiterOptions {
+  /// Maximum frames coalesced into one engine grant (>= 1; 1 disables
+  /// gang scheduling entirely).
+  int64_t max_batch = 1;
+  /// How long a grantable leader may hold off, engine free, waiting for
+  /// more same-layer peers before granting a partial batch (0 = never
+  /// wait; only already-waiting frames coalesce).
+  int64_t batch_linger_us = 0;
+};
+
 class EngineArbiter {
  public:
-  explicit EngineArbiter(telemetry::MetricsRegistry* metrics = nullptr);
+  explicit EngineArbiter(telemetry::MetricsRegistry* metrics = nullptr,
+                         ArbiterOptions options = {});
 
   /// Registers a session; weight must be >= 1, priority >= 0 (higher wins
   /// the engine first). A session joining late starts at the current
@@ -49,15 +85,31 @@ class EngineArbiter {
   void add_session(int64_t session, int weight = 1, int priority = 0);
 
   /// Forgets a session entirely (stream closed and drained). The session
-  /// must not hold the engine; a pending claim is withdrawn.
+  /// must not hold the engine; a pending claim — including its gang-queue
+  /// layer entry — is withdrawn, so the session cannot join any batch
+  /// forming after this call.
   void remove_session(int64_t session);
 
   /// Non-blocking: grants the engine iff it is free and no *pending*
   /// session has a stronger claim (higher tier, or same tier and smaller
   /// virtual time). On refusal the session is recorded as pending, so its
   /// claim matures; callers retry after the next release (the owning
-  /// server's condition variable covers this).
+  /// server's condition variable covers this). Layer-agnostic: never
+  /// coalesces (equivalent to try_acquire_gang with layer −1).
   bool try_acquire(int64_t session);
+
+  /// Gang-scheduling acquire: `session` asks for the engine to run layer
+  /// `layer` (−1 = unbatchable), and `candidates` lists the sessions the
+  /// caller verified to have a runnable frame at the same layer right
+  /// now. On success `gang` receives every granted member — the leader
+  /// first, then up to max_batch − 1 peers picked from `candidates` in
+  /// arbitration-preference order (unknown/churned candidate ids are
+  /// skipped). On refusal the leader's claim is recorded pending at
+  /// `layer` and `gang` is left empty. The engine is held by `session`
+  /// (the leader) and released once for the whole gang.
+  bool try_acquire_gang(int64_t session, int64_t layer,
+                        std::span<const int64_t> candidates,
+                        std::vector<int64_t>& gang);
 
   /// Returns the engine; `session` must be the current holder.
   void release(int64_t session);
@@ -69,24 +121,40 @@ class EngineArbiter {
   int64_t pending() const;
   bool busy() const;
 
+  /// Deadline of the active batch linger, if one is in progress: the
+  /// instant after which the lingering leader will settle for a partial
+  /// batch. Scheduler loops should use a timed wait until then instead of
+  /// sleeping unbounded.
+  std::optional<std::chrono::steady_clock::time_point> linger_deadline()
+      const;
+
  private:
   struct SessionState {
     int weight = 1;
     int priority = 0;    ///< tier; strict precedence over vtime
     double vtime = 0.0;  ///< accumulated grant cost (deficit round-robin)
     bool pending = false;
+    int64_t pending_layer = -1;  ///< layer of the pending claim (gang queue)
   };
 
   double effective_vtime_locked(const SessionState& s) const;
+  bool acquire_locked(int64_t session, int64_t layer,
+                      std::span<const int64_t> candidates,
+                      std::vector<int64_t>* gang);
 
   mutable std::mutex mutex_;
+  ArbiterOptions options_;
   std::map<int64_t, SessionState> sessions_;
   int64_t holder_ = -1;
   int64_t pending_count_ = 0;
   int64_t grants_ = 0;
   double vtime_floor_ = 0.0;  ///< vtime of the most recent grantee
+  bool linger_active_ = false;
+  int64_t linger_layer_ = -1;
+  std::chrono::steady_clock::time_point linger_deadline_{};
   telemetry::Counter* grants_counter_;
   telemetry::Gauge* queue_depth_gauge_;
+  telemetry::Histogram* batch_size_hist_;
 };
 
 }  // namespace tincy::serve

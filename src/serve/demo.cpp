@@ -31,8 +31,11 @@ std::vector<ServeStage> demo_session_stages(nn::Network& net,
           break;
       }
     }
-    stages.push_back(
-        {std::move(demo[idx].name), std::move(demo[idx].work), engine});
+    ServeStage stage;
+    stage.name = std::move(demo[idx].name);
+    stage.work = std::move(demo[idx].work);
+    stage.uses_engine = engine;
+    stages.push_back(std::move(stage));
   }
   return stages;
 }

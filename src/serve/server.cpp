@@ -28,7 +28,7 @@ StreamServer::StreamServer(ServerOptions options)
     : options_(std::move(options)),
       metrics_(options_.metrics ? options_.metrics
                                 : &telemetry::MetricsRegistry::global()),
-      arbiter_(metrics_) {
+      arbiter_(metrics_, options_.arbiter) {
   TINCY_CHECK_MSG(options_.num_workers >= 1,
                   "num_workers " << options_.num_workers);
   TINCY_CHECK_MSG(options_.degrade_at > 0.0 && options_.degrade_at <= 1.0,
@@ -40,6 +40,17 @@ StreamServer::~StreamServer() { stop(); }
 
 int64_t StreamServer::open_session(SessionConfig cfg) {
   TINCY_CHECK_MSG(!cfg.stages.empty(), "session needs at least one stage");
+  for (const auto& st : cfg.stages) {
+    TINCY_CHECK_MSG(st.work || st.batch_work,
+                    "stage '" << st.name << "' needs work or batch_work");
+    TINCY_CHECK_MSG(!st.batch_work || st.uses_engine,
+                    "stage '" << st.name
+                              << "' has batch_work but not uses_engine");
+    TINCY_CHECK_MSG(st.engine_layer < 0 || (st.uses_engine && st.batch_work),
+                    "stage '" << st.name << "' names engine_layer "
+                              << st.engine_layer
+                              << " but lacks uses_engine+batch_work");
+  }
   TINCY_CHECK_MSG(cfg.queue_capacity >= 1,
                   "queue_capacity " << cfg.queue_capacity);
   TINCY_CHECK_MSG(cfg.weight >= 1, "weight " << cfg.weight);
@@ -175,12 +186,57 @@ bool StreamServer::find_job_locked(Job& job) {
           i == 0 ? !s.queue.empty()
                  : s.slots[static_cast<size_t>(i - 1)].frame.has_value();
       if (!input_ready) continue;
+      const ServeStage& st = s.cfg.stages[static_cast<size_t>(i)];
+      if (!st.uses_engine) {
+        job.members.assign(1, Claim{static_cast<int64_t>(si), i});
+        job.engine = false;
+        rr_next_ = (si + 1) % n;
+        return true;
+      }
       // Engine-tagged stages are claimed together with the engine grant;
       // a refusal leaves a maturing claim with the arbiter and the scan
       // moves on to overlappable CPU work of other sessions.
-      const bool engine = s.cfg.stages[static_cast<size_t>(i)].uses_engine;
-      if (engine && !arbiter_.try_acquire(static_cast<int64_t>(si))) continue;
-      job = Job{static_cast<int64_t>(si), i, engine};
+      if (st.engine_layer < 0) {
+        if (!arbiter_.try_acquire(static_cast<int64_t>(si))) continue;
+        job.members.assign(1, Claim{static_cast<int64_t>(si), i});
+        job.engine = true;
+        rr_next_ = (si + 1) % n;
+        return true;
+      }
+      // Gang-schedulable stage: collect every other session with a
+      // runnable frame at the same offloaded layer right now — all
+      // verified under this lock, so a grant can claim them atomically.
+      std::vector<int64_t> cands;
+      std::vector<int64_t> cand_stage(n, -1);
+      for (size_t oj = 0; oj < n; ++oj) {
+        if (oj == si) continue;
+        Session& o = *sessions_[oj];
+        if (o.retired || o.quarantined) continue;
+        for (int64_t m = static_cast<int64_t>(o.cfg.stages.size()) - 1;
+             m >= 0; --m) {
+          const ServeStage& om = o.cfg.stages[static_cast<size_t>(m)];
+          if (!om.uses_engine || om.engine_layer != st.engine_layer) continue;
+          Slot& oout = o.slots[static_cast<size_t>(m)];
+          if (oout.reserved || oout.frame.has_value()) continue;
+          const bool oready =
+              m == 0 ? !o.queue.empty()
+                     : o.slots[static_cast<size_t>(m - 1)].frame.has_value();
+          if (!oready) continue;
+          cands.push_back(static_cast<int64_t>(oj));
+          cand_stage[oj] = m;
+          break;  // deepest runnable same-layer stage of this session
+        }
+      }
+      std::vector<int64_t> gang;
+      if (!arbiter_.try_acquire_gang(static_cast<int64_t>(si),
+                                     st.engine_layer, cands, gang))
+        continue;
+      job.members.clear();
+      job.members.push_back(Claim{static_cast<int64_t>(si), i});
+      for (size_t g = 1; g < gang.size(); ++g)
+        job.members.push_back(
+            Claim{gang[g], cand_stage[static_cast<size_t>(gang[g])]});
+      job.engine = true;
       rr_next_ = (si + 1) % n;
       return true;
     }
@@ -193,29 +249,59 @@ void StreamServer::worker_loop() {
   while (true) {
     Job job;
     // stopping_ is tested first: once a stop is requested no new job (and
-    // in particular no engine grant) is claimed.
-    cv_.wait(lock, [&] { return stopping_ || find_job_locked(job); });
+    // in particular no engine grant) is claimed. While a gang leader
+    // lingers for more peers the wait is timed, so a worker re-attempts
+    // the acquisition right after the linger deadline even if nothing
+    // else wakes it.
+    while (!stopping_ && !find_job_locked(job)) {
+      if (const auto deadline = arbiter_.linger_deadline())
+        cv_.wait_until(lock, *deadline + std::chrono::microseconds(10));
+      else
+        cv_.wait(lock);
+    }
     if (stopping_) return;
 
-    Session& s = *sessions_[static_cast<size_t>(job.session)];
-    Slot& out = s.slots[static_cast<size_t>(job.stage)];
-    out.reserved = true;
-    video::Frame frame;
-    if (job.stage == 0) {
-      frame = std::move(s.queue.front());
-      s.queue.pop_front();
-    } else {
-      Slot& in = s.slots[static_cast<size_t>(job.stage - 1)];
-      frame = std::move(*in.frame);
-      in.frame.reset();  // input buffer becomes free (Fig. 6)
+    // Claim every member's input under the same lock hold that formed the
+    // gang — the candidates were verified runnable by find_job_locked.
+    // Session pointers are pinned here too: the sessions_ vector may be
+    // reallocated by a concurrent open_session once the lock drops, but
+    // the Session objects themselves are heap-stable.
+    const size_t nm = job.members.size();
+    std::vector<video::Frame> frames(nm);
+    std::vector<Session*> member_sessions(nm);
+    for (size_t m = 0; m < nm; ++m) {
+      Session& ms = *sessions_[static_cast<size_t>(job.members[m].session)];
+      member_sessions[m] = &ms;
+      Slot& mout = ms.slots[static_cast<size_t>(job.members[m].stage)];
+      mout.reserved = true;
+      if (job.members[m].stage == 0) {
+        frames[m] = std::move(ms.queue.front());
+        ms.queue.pop_front();
+      } else {
+        Slot& min = ms.slots[static_cast<size_t>(job.members[m].stage - 1)];
+        frames[m] = std::move(*min.frame);
+        min.frame.reset();  // input buffer becomes free (Fig. 6)
+      }
     }
     lock.unlock();
-    cv_.notify_all();  // freed queue space / input slot enables upstream
+    cv_.notify_all();  // freed queue space / input slots enable upstream
 
+    // The leader's callback runs the whole gang: one engine hold, one
+    // weight-streaming phase. A throw faults every member — their frames
+    // were in the same pass.
+    Session& ls = *member_sessions[0];
+    const ServeStage& lstage =
+        ls.cfg.stages[static_cast<size_t>(job.members[0].stage)];
     bool faulted = false;
     std::string fault;
     try {
-      s.cfg.stages[static_cast<size_t>(job.stage)].work(frame);
+      if (nm > 1 || !lstage.work) {
+        std::vector<video::Frame*> ptrs(nm);
+        for (size_t m = 0; m < nm; ++m) ptrs[m] = &frames[m];
+        lstage.batch_work(std::span<video::Frame* const>(ptrs));
+      } else {
+        lstage.work(frames[0]);
+      }
     } catch (const std::exception& e) {
       faulted = true;
       fault = e.what();
@@ -223,51 +309,62 @@ void StreamServer::worker_loop() {
       faulted = true;
       fault = "non-standard exception";
     }
-    const bool last =
-        job.stage == static_cast<int64_t>(s.cfg.stages.size()) - 1;
+    std::vector<char> member_faulted(nm, faulted ? 1 : 0);
+    std::vector<std::string> member_fault(nm, fault);
     // Delivery happens outside the lock but is serialized per session by
     // the reserved last-stage slot, so results leave in order. A sibling
-    // stage may have poisoned the session while this frame was in the
+    // stage may have poisoned a session while its frame was in the
     // stage; nothing is delivered past the poison point.
-    if (!faulted && last && s.cfg.deliver) {
+    for (size_t m = 0; m < nm; ++m) {
+      if (member_faulted[m]) continue;
+      Session& ms = *member_sessions[m];
+      const bool last = job.members[m].stage ==
+                        static_cast<int64_t>(ms.cfg.stages.size()) - 1;
+      if (!last || !ms.cfg.deliver) continue;
       lock.lock();
-      const bool deliverable = !s.quarantined;
+      const bool deliverable = !ms.quarantined;
       lock.unlock();
-      if (deliverable) {
-        try {
-          s.cfg.deliver(std::move(frame));
-        } catch (const std::exception& e) {
-          faulted = true;
-          fault = e.what();
-        } catch (...) {
-          faulted = true;
-          fault = "non-standard exception";
-        }
+      if (!deliverable) continue;
+      try {
+        ms.cfg.deliver(std::move(frames[m]));
+      } catch (const std::exception& e) {
+        member_faulted[m] = 1;
+        member_fault[m] = e.what();
+      } catch (...) {
+        member_faulted[m] = 1;
+        member_fault[m] = "non-standard exception";
       }
     }
-    if (job.engine) arbiter_.release(job.session);
+    // One release covers the whole gang (the leader held the engine).
+    if (job.engine) arbiter_.release(job.members[0].session);
 
     lock.lock();
-    out.reserved = false;
-    if (faulted) {
-      quarantine_locked(job.session, fault);
-      ++s.discarded;  // the frame this worker was carrying
-      s.dropped_counter->add(1);
-    } else if (s.quarantined) {
-      ++s.discarded;  // poisoned while in flight — never counted delivered
-      s.dropped_counter->add(1);
-    } else if (last) {
-      ++s.done;
-      s.frames_counter->add(1);
-      s.latency_hist->record(ms_between(s.submit_times.front(),
-                                        std::chrono::steady_clock::now()));
-      s.submit_times.pop_front();
-    } else {
-      out.frame = std::move(frame);
+    for (size_t m = 0; m < nm; ++m) {
+      Session& ms = *member_sessions[m];
+      Slot& mout = ms.slots[static_cast<size_t>(job.members[m].stage)];
+      mout.reserved = false;
+      const bool last = job.members[m].stage ==
+                        static_cast<int64_t>(ms.cfg.stages.size()) - 1;
+      if (member_faulted[m]) {
+        quarantine_locked(job.members[m].session, member_fault[m]);
+        ++ms.discarded;  // the frame this worker was carrying
+        ms.dropped_counter->add(1);
+      } else if (ms.quarantined) {
+        ++ms.discarded;  // poisoned while in flight — never counted delivered
+        ms.dropped_counter->add(1);
+      } else if (last) {
+        ++ms.done;
+        ms.frames_counter->add(1);
+        ms.latency_hist->record(ms_between(ms.submit_times.front(),
+                                           std::chrono::steady_clock::now()));
+        ms.submit_times.pop_front();
+      } else {
+        mout.frame = std::move(frames[m]);
+      }
+      if (ms.closed || ms.quarantined) maybe_retire_locked(job.members[m].session);
     }
-    if (s.closed || s.quarantined) maybe_retire_locked(job.session);
     lock.unlock();
-    cv_.notify_all();  // deposited output / delivery may unblock drain()
+    cv_.notify_all();  // deposited outputs / deliveries may unblock drain()
     lock.lock();
   }
 }
@@ -306,7 +403,9 @@ void StreamServer::maybe_retire_locked(int64_t session) {
     if (slot.frame.has_value() || slot.reserved) return;
   // No slot is reserved, so no stage of this session is running and the
   // engine release (which precedes clearing the reservation) has happened:
-  // the arbiter can forget the session safely.
+  // the arbiter can forget the session safely — and with it any pending
+  // (session, layer) gang-queue entry, so a retired session never joins a
+  // forming batch.
   s.retired = true;
   arbiter_.remove_session(session);
 }

@@ -13,6 +13,13 @@
 ///  * scheduling is most-mature-first *within* a session (the paper's
 ///    policy) and round-robin *across* sessions, with engine access
 ///    weighted and priority-tiered per session by the arbiter;
+///  * engine stages that name an offloaded layer (ServeStage::
+///    engine_layer >= 0) are **gang-scheduled**: when several sessions
+///    have a frame waiting at the same layer, one engine grant covers up
+///    to ArbiterOptions::max_batch of them and the leader's batch_work
+///    runs the whole gang — one weight-streaming phase instead of one per
+///    frame (docs/ARCHITECTURE.md §6). Lone frames fall back to
+///    single-frame grants;
 ///  * each session has a bounded admission queue with a configurable
 ///    overload policy: reject (kOverloaded backpressure), shed-oldest
 ///    (drop the stalest queued frame to admit the new one), or degrade
@@ -22,7 +29,9 @@
 ///  * sessions churn freely: open_session/close_session work while the
 ///    server is running, and a stage that throws quarantines only its own
 ///    session — queued frames are discarded, the session stops accepting
-///    submissions, and every other stream keeps flowing.
+///    submissions, and every other stream keeps flowing. A batch_work
+///    that throws poisons every session in the gang (their frames were in
+///    the same engine pass).
 ///
 /// Telemetry (see docs/observability.md):
 ///   serve.session.<name>.frames      counter, frames delivered
@@ -34,7 +43,7 @@
 ///                                    close/quarantine
 ///   serve.session.<name>.faults      counter, stage/deliver exceptions
 ///   serve.session.<name>.quarantined gauge, 1 once quarantined
-///   serve.arbiter.grants / serve.arbiter.queue_depth (EngineArbiter)
+///   serve.arbiter.grants / .queue_depth / .batch_size (EngineArbiter)
 
 #include <chrono>
 #include <condition_variable>
@@ -44,6 +53,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +95,18 @@ struct ServeStage {
   std::string name;
   std::function<void(video::Frame&)> work;
   bool uses_engine = false;
+  /// Batched variant for gang-scheduled engine stages: invoked once per
+  /// grant over every frame of the gang, the leader's frame first. The
+  /// *leader's* batch_work processes all member frames under one engine
+  /// hold, so sessions that declare the same engine_layer must install
+  /// equivalent batch_work (same offloaded layer, shared weights). A lone
+  /// grant runs `work` when present, otherwise batch_work on a 1-span.
+  std::function<void(std::span<video::Frame* const>)> batch_work;
+  /// Identity of the offloaded layer this stage runs, for gang
+  /// coalescing: engine stages of different sessions with the same
+  /// engine_layer may be batched into one grant. −1 = unbatchable
+  /// (always a single-frame grant). Requires uses_engine and batch_work.
+  int64_t engine_layer = -1;
 };
 
 /// A client stream: its own stage chain (own network instance — sessions
@@ -112,6 +134,9 @@ struct ServerOptions {
   OverloadPolicy overload_policy = OverloadPolicy::kReject;
   /// kDegrade pressure mark as a fraction of queue_capacity, in (0, 1].
   double degrade_at = 0.5;
+  /// Gang-scheduling knobs handed to the EngineArbiter (max_batch,
+  /// batch_linger_us). The default disables coalescing.
+  ArbiterOptions arbiter;
   /// Registry for serve.* metrics; null selects the process-wide default.
   telemetry::MetricsRegistry* metrics = nullptr;
 };
@@ -126,15 +151,18 @@ class StreamServer {
   ~StreamServer();
 
   /// Registers a stream — before start() or live, mid-serve (churn).
-  /// Validates the config (stages non-empty, queue_capacity >= 1,
-  /// weight >= 1, priority >= 0). Returns the session id used by
-  /// submit()/accessors; ids are never reused.
+  /// Validates the config (stages non-empty, each stage has work or
+  /// batch_work, batch_work/engine_layer only on engine stages,
+  /// queue_capacity >= 1, weight >= 1, priority >= 0). Returns the
+  /// session id used by submit()/accessors; ids are never reused.
   int64_t open_session(SessionConfig cfg);
 
   /// Closes a stream (idempotent): queued frames that never started are
   /// discarded (counted in serve.session.<name>.dropped), frames already
   /// inside the stage chain run to delivery, and further submissions
   /// answer kClosed. Works while the server is running — the churn path.
+  /// A closed session's pending gang-queue entry is withdrawn, so it can
+  /// never join a batch forming after this call.
   void close_session(int64_t session);
 
   /// Spawns the worker pool and begins accepting submissions. Resets
@@ -202,18 +230,26 @@ class StreamServer {
     telemetry::Gauge* quarantined_gauge;
   };
 
-  /// One claimable unit of work: (session, stage) plus whether the claim
-  /// came with the engine grant already held.
-  struct Job {
+  /// One (session, stage) membership of a claimed job.
+  struct Claim {
     int64_t session = -1;
     int64_t stage = -1;
+  };
+
+  /// One claimable unit of work: the gang members (leader first; exactly
+  /// one entry for plain CPU stages and single-frame grants) plus whether
+  /// the claim came with the engine grant already held by the leader.
+  struct Job {
+    std::vector<Claim> members;
     bool engine = false;
   };
 
   /// Scans sessions round-robin (rotating start), stages back-to-front
   /// (most mature first). Acquires the engine for engine-tagged stages as
-  /// part of the claim; a denial skips the stage, leaving a pending claim
-  /// with the arbiter.
+  /// part of the claim — gang-scheduled for stages naming an
+  /// engine_layer, with same-layer runnable frames of other sessions
+  /// verified under this lock and offered to the arbiter as candidates. A
+  /// denial skips the stage, leaving a pending claim with the arbiter.
   bool find_job_locked(Job& job);
   void worker_loop();
   /// Poisons the session: discards its queued and slot-held frames,

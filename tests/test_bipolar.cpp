@@ -167,6 +167,33 @@ TEST(BipolarFabric, AcceleratorBitExactAgainstCpu) {
   }
 }
 
+TEST(BipolarFabric, BatchedForwardBitExactOnMlp) {
+  // MLP-4-class W1A1 network through the importer: the batched path
+  // (one weight stream, B stacked frames) must be bit-identical to
+  // running every frame alone.
+  Rng rng(21);
+  auto subnet = nn::build_network_from_string(bipolar_mlp_cfg(96, 24, 3));
+  nn::zoo::randomize(*subnet, rng);
+  const fabric::QnnAccelerator acc = offload::import_accelerator(*subnet);
+  const int64_t batch = 5;
+  const int64_t in_n = acc.input_shape().numel();
+  const int64_t out_n = acc.output_shape().numel();
+  std::vector<uint8_t> inputs(static_cast<size_t>(batch * in_n));
+  for (auto& v : inputs) v = rng.bernoulli(0.5) ? 1 : 0;
+  const std::vector<uint8_t> batched = acc.forward_codes_batched(inputs, batch);
+  ASSERT_EQ(static_cast<int64_t>(batched.size()), batch * out_n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::vector<uint8_t> one(
+        inputs.begin() + static_cast<std::ptrdiff_t>(b * in_n),
+        inputs.begin() + static_cast<std::ptrdiff_t>((b + 1) * in_n));
+    const std::vector<uint8_t> expected = acc.forward_codes(one);
+    for (int64_t i = 0; i < out_n; ++i)
+      EXPECT_EQ(batched[static_cast<size_t>(b * out_n + i)],
+                expected[static_cast<size_t>(i)])
+          << "frame " << b << " element " << i;
+  }
+}
+
 TEST(BipolarFabric, ConnectedLayerStageExtraction) {
   // A subnet of quantized connected layers maps to FC stages (1x1 convs).
   const std::string cfg =

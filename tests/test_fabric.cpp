@@ -16,6 +16,7 @@
 #include "nn/conv_layer.hpp"
 #include "nn/zoo.hpp"
 #include "offload/import.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tincy::fabric {
 namespace {
@@ -386,6 +387,279 @@ TEST(TernaryMvtu, SameFoldingCostAsBinary) {
                             3);
   const Folding f{32, 36};
   EXPECT_EQ(binary.cycles_per_column(f), ternary.cycles_per_column(f));
+}
+
+// ---- Batched (weight-resident) execution parity -------------------------
+
+TEST(Mvtu, BatchMatchesSequentialCompute) {
+  Rng rng(301);
+  const int64_t rows = 20, cols = 100, batch = 5;
+  const quant::BinaryMatrix w = random_binary(rng, rows, cols);
+  const Mvtu mvtu(w, identity_thresholds(rows, 7), /*act_bits_in=*/3);
+
+  std::vector<uint8_t> columns(static_cast<size_t>(batch * cols));
+  for (auto& c : columns) c = static_cast<uint8_t>(rng.uniform_int(0, 7));
+
+  std::vector<uint8_t> batched(static_cast<size_t>(batch * rows));
+  std::vector<int32_t> acc_batched(static_cast<size_t>(batch * rows));
+  mvtu.compute_batch(columns, batch, batched);
+  mvtu.accumulate_batch(columns, batch, acc_batched);
+
+  std::vector<uint8_t> expected(static_cast<size_t>(rows));
+  std::vector<int32_t> acc_expected(static_cast<size_t>(rows));
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::span<const uint8_t> col(columns.data() + b * cols,
+                                       static_cast<size_t>(cols));
+    mvtu.compute(col, expected);
+    mvtu.accumulate(col, acc_expected);
+    for (int64_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(batched[static_cast<size_t>(b * rows + r)],
+                expected[static_cast<size_t>(r)])
+          << "frame " << b << " row " << r;
+      EXPECT_EQ(acc_batched[static_cast<size_t>(b * rows + r)],
+                acc_expected[static_cast<size_t>(r)])
+          << "frame " << b << " row " << r;
+    }
+  }
+}
+
+TEST(Mvtu, BipolarBatchMatchesSequential) {
+  Rng rng(302);
+  const int64_t rows = 16, cols = 64, batch = 4;
+  const quant::BinaryMatrix w = random_binary(rng, rows, cols);
+  std::vector<ThresholdChannel> th(static_cast<size_t>(rows));
+  for (auto& ch : th) ch.thresholds.push_back(0);  // sign of the accumulator
+  const Mvtu mvtu(w, std::move(th), /*act_bits_in=*/1, ActEncoding::kBipolar);
+
+  std::vector<uint8_t> columns(static_cast<size_t>(batch * cols));
+  for (auto& c : columns) c = static_cast<uint8_t>(rng.uniform_int(0, 1));
+
+  std::vector<uint8_t> batched(static_cast<size_t>(batch * rows));
+  mvtu.compute_batch(columns, batch, batched);
+  std::vector<uint8_t> expected(static_cast<size_t>(rows));
+  for (int64_t b = 0; b < batch; ++b) {
+    mvtu.compute(std::span<const uint8_t>(columns.data() + b * cols,
+                                          static_cast<size_t>(cols)),
+                 expected);
+    for (int64_t r = 0; r < rows; ++r)
+      EXPECT_EQ(batched[static_cast<size_t>(b * rows + r)],
+                expected[static_cast<size_t>(r)])
+          << "frame " << b << " row " << r;
+  }
+}
+
+TEST(TernaryMvtu, BatchMatchesSequential) {
+  Rng rng(303);
+  const int64_t rows = 12, cols = 80, batch = 3;
+  Tensor w(Shape{rows, cols});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal();
+  const TernaryMvtu mvtu(quant::ternarize(w), identity_thresholds(rows, 7),
+                         /*act_bits_in=*/3);
+
+  std::vector<uint8_t> columns(static_cast<size_t>(batch * cols));
+  for (auto& c : columns) c = static_cast<uint8_t>(rng.uniform_int(0, 7));
+
+  std::vector<uint8_t> batched(static_cast<size_t>(batch * rows));
+  std::vector<int32_t> acc_batched(static_cast<size_t>(batch * rows));
+  mvtu.compute_batch(columns, batch, batched);
+  mvtu.accumulate_batch(columns, batch, acc_batched);
+  std::vector<uint8_t> expected(static_cast<size_t>(rows));
+  std::vector<int32_t> acc_expected(static_cast<size_t>(rows));
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::span<const uint8_t> col(columns.data() + b * cols,
+                                       static_cast<size_t>(cols));
+    mvtu.compute(col, expected);
+    mvtu.accumulate(col, acc_expected);
+    for (int64_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(batched[static_cast<size_t>(b * rows + r)],
+                expected[static_cast<size_t>(r)]);
+      EXPECT_EQ(acc_batched[static_cast<size_t>(b * rows + r)],
+                acc_expected[static_cast<size_t>(r)]);
+    }
+  }
+}
+
+TEST(SlidingWindow, BatchEmitsPerFrameColumns) {
+  Rng rng(304);
+  const gemm::ConvGeometry g{3, 7, 7, 3, 2, 1};
+  const int64_t batch = 3;
+  const int64_t image_size = 3 * 7 * 7;
+  std::vector<uint8_t> images(static_cast<size_t>(batch * image_size));
+  for (auto& v : images) v = static_cast<uint8_t>(rng.uniform_int(0, 7));
+
+  const SlidingWindowUnit swu(g);
+  std::vector<uint8_t> batched(
+      static_cast<size_t>(batch * swu.column_size()));
+  std::vector<uint8_t> expected(static_cast<size_t>(swu.column_size()));
+  for (int64_t j = 0; j < swu.num_columns(); ++j) {
+    swu.emit_column_batch(images, batch, j, batched);
+    for (int64_t b = 0; b < batch; ++b) {
+      swu.emit_column(
+          std::span<const uint8_t>(images.data() + b * image_size,
+                                   static_cast<size_t>(image_size)),
+          j, expected);
+      for (int64_t r = 0; r < swu.column_size(); ++r)
+        EXPECT_EQ(batched[static_cast<size_t>(b * swu.column_size() + r)],
+                  expected[static_cast<size_t>(r)])
+            << "frame " << b << " col " << j << " row " << r;
+    }
+  }
+}
+
+TEST(PoolUnit, BatchMatchesPerFrame) {
+  Rng rng(305);
+  const PoolSpec spec{4, 6, 6, 2, 2};
+  const int64_t batch = 3;
+  const int64_t in_size = 4 * 36, out_size = 4 * 9;
+  std::vector<uint8_t> in(static_cast<size_t>(batch * in_size));
+  for (auto& v : in) v = static_cast<uint8_t>(rng.uniform_int(0, 7));
+  std::vector<uint8_t> batched(static_cast<size_t>(batch * out_size));
+  max_pool_codes_batch(spec, in, batched, batch);
+  std::vector<uint8_t> expected(static_cast<size_t>(out_size));
+  for (int64_t b = 0; b < batch; ++b) {
+    max_pool_codes(spec,
+                   std::span<const uint8_t>(in.data() + b * in_size,
+                                            static_cast<size_t>(in_size)),
+                   expected);
+    for (int64_t i = 0; i < out_size; ++i)
+      EXPECT_EQ(batched[static_cast<size_t>(b * out_size + i)],
+                expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Accelerator, BatchedBitExactOnQuantSubnet) {
+  // Tincy-style golden: the batched whole-network path over a conv+pool
+  // chain must be bit-identical to running every frame alone.
+  Rng rng(306);
+  const auto subnet = quant_subnet(rng);
+  const QnnAccelerator acc = offload::import_accelerator(*subnet);
+  const int64_t batch = 4;
+  const int64_t in_n = acc.input_shape().numel();
+  const int64_t out_n = acc.output_shape().numel();
+
+  std::vector<uint8_t> inputs(static_cast<size_t>(batch * in_n));
+  for (auto& v : inputs) v = static_cast<uint8_t>(rng.uniform_int(0, 7));
+  const std::vector<uint8_t> batched = acc.forward_codes_batched(inputs, batch);
+  ASSERT_EQ(static_cast<int64_t>(batched.size()), batch * out_n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::vector<uint8_t> one(
+        inputs.begin() + static_cast<std::ptrdiff_t>(b * in_n),
+        inputs.begin() + static_cast<std::ptrdiff_t>((b + 1) * in_n));
+    const std::vector<uint8_t> expected = acc.forward_codes(one);
+    for (int64_t i = 0; i < out_n; ++i)
+      EXPECT_EQ(batched[static_cast<size_t>(b * out_n + i)],
+                expected[static_cast<size_t>(i)])
+          << "frame " << b << " element " << i;
+  }
+}
+
+/// CNV-style bipolar chain (W1A1, valid convs, mid-chain max pool).
+QnnAccelerator bipolar_accelerator(Rng& rng) {
+  QnnAccelerator acc;
+  QnnLayerSpec l1;
+  l1.in_channels = 4;
+  l1.in_height = 6;
+  l1.in_width = 6;
+  l1.filters = 8;
+  l1.kernel = 3;
+  l1.pad = 0;
+  l1.act_bits_in = 1;
+  l1.act_bits_out = 1;
+  l1.bipolar = true;
+  l1.pool_after = true;
+  l1.pool_size = 2;
+  l1.pool_stride = 2;
+  std::vector<ThresholdChannel> th1(8);
+  for (auto& ch : th1) ch.thresholds.push_back(0);
+  acc.add_layer(l1, random_binary(rng, 8, 4 * 9), std::move(th1));
+
+  QnnLayerSpec l2;
+  l2.in_channels = 8;
+  l2.in_height = 2;
+  l2.in_width = 2;
+  l2.filters = 4;
+  l2.kernel = 1;
+  l2.pad = 0;
+  l2.act_bits_in = 1;
+  l2.act_bits_out = 1;
+  l2.bipolar = true;
+  std::vector<ThresholdChannel> th2(4);
+  for (auto& ch : th2) ch.thresholds.push_back(0);
+  acc.add_layer(l2, random_binary(rng, 4, 8), std::move(th2));
+  return acc;
+}
+
+TEST(Accelerator, BatchedBitExactBipolar) {
+  Rng rng(307);
+  const QnnAccelerator acc = bipolar_accelerator(rng);
+  const int64_t batch = 6;
+  const int64_t in_n = acc.input_shape().numel();
+  const int64_t out_n = acc.output_shape().numel();
+  std::vector<uint8_t> inputs(static_cast<size_t>(batch * in_n));
+  for (auto& v : inputs) v = static_cast<uint8_t>(rng.uniform_int(0, 1));
+  const std::vector<uint8_t> batched = acc.forward_codes_batched(inputs, batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::vector<uint8_t> one(
+        inputs.begin() + static_cast<std::ptrdiff_t>(b * in_n),
+        inputs.begin() + static_cast<std::ptrdiff_t>((b + 1) * in_n));
+    const std::vector<uint8_t> expected = acc.forward_codes(one);
+    for (int64_t i = 0; i < out_n; ++i)
+      EXPECT_EQ(batched[static_cast<size_t>(b * out_n + i)],
+                expected[static_cast<size_t>(i)])
+          << "frame " << b << " element " << i;
+  }
+}
+
+TEST(Accelerator, LayerPerfBatchedAmortizesWeightDma) {
+  Rng rng(308);
+  const auto subnet = quant_subnet(rng);
+  const QnnAccelerator acc = offload::import_accelerator(*subnet);
+  const LayerPerf one = acc.layer_perf(0);
+  const LayerPerf four = acc.layer_perf_batched(0, 4);
+  // Weight stream and invocation overhead are paid once per pass; the
+  // per-frame work scales with the batch.
+  EXPECT_EQ(four.batch, 4);
+  EXPECT_EQ(four.weight_dma_cycles, one.weight_dma_cycles);
+  EXPECT_EQ(four.overhead_cycles, one.overhead_cycles);
+  EXPECT_EQ(four.compute_cycles, 4 * one.compute_cycles);
+  EXPECT_EQ(four.fmap_dma_cycles, 4 * one.fmap_dma_cycles);
+  EXPECT_EQ(four.pool_cycles, 4 * one.pool_cycles);
+  EXPECT_LT(four.cycles_per_frame(), static_cast<double>(one.total_cycles()));
+  EXPECT_DOUBLE_EQ(four.weight_dma_per_frame(),
+                   static_cast<double>(one.weight_dma_cycles) / 4.0);
+  EXPECT_EQ(four.dma_saved_cycles(), 3 * one.weight_dma_cycles);
+  EXPECT_EQ(one.dma_saved_cycles(), 0);
+  // layer_perf is exactly the batch-1 case.
+  EXPECT_EQ(one.total_cycles(), acc.layer_perf_batched(0, 1).total_cycles());
+}
+
+TEST(Accelerator, BatchedTelemetryCountsAmortization) {
+  Rng rng(309);
+  const auto subnet = quant_subnet(rng);
+  QnnAccelerator acc = offload::import_accelerator(*subnet);
+  telemetry::MetricsRegistry registry;
+  acc.set_metrics(&registry);
+
+  const int64_t in_n = acc.input_shape().numel();
+  std::vector<uint8_t> one(static_cast<size_t>(in_n), 3);
+  acc.forward_codes(one);  // batch of 1: nothing to amortize, no samples
+  auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("fabric.batched_passes"), 0);
+  EXPECT_EQ(snap.counter_value("fabric.dma_amortized"), 0);
+
+  const int64_t batch = 4;
+  const int64_t layers = acc.num_layers();
+  std::vector<uint8_t> inputs(static_cast<size_t>(batch * in_n), 3);
+  acc.forward_codes_batched(inputs, batch);
+  snap = registry.snapshot();
+  // One coalesced pass per offloaded layer, each over `batch` frames.
+  EXPECT_EQ(snap.counter_value("fabric.batched_passes"), layers);
+  EXPECT_EQ(snap.counter_value("fabric.batched_frames"), layers * batch);
+  EXPECT_EQ(snap.counter_value("fabric.dma_amortized"), layers * (batch - 1));
+  int64_t expected_saved = 0;
+  for (int64_t i = 0; i < layers; ++i)
+    expected_saved += (batch - 1) * acc.layer_perf(i).weight_dma_cycles;
+  EXPECT_EQ(snap.counter_value("fabric.dma_saved_cycles"), expected_saved);
 }
 
 }  // namespace

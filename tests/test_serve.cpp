@@ -24,6 +24,11 @@
 #include "serve/server.hpp"
 #include "video/camera.hpp"
 
+// ServeStage carries optional batched fields (batch_work, engine_layer)
+// with safe defaults; the three-field {name, work, uses_engine} literal
+// stays the canonical spelling for plain CPU stages throughout this suite.
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
 namespace tincy::serve {
 namespace {
 
@@ -114,6 +119,142 @@ TEST(EngineArbiter, RemoveSessionWithdrawsPendingClaim) {
   EXPECT_TRUE(arb.try_acquire(0));
   arb.release(0);
   EXPECT_EQ(registry.snapshot().gauge_value("serve.arbiter.queue_depth"), 0);
+}
+
+// --- EngineArbiter: gang scheduling (weight-DMA amortization) ---
+
+TEST(EngineArbiter, GangCoalescesSameLayerPeers) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry, {.max_batch = 4});
+  for (int64_t s = 0; s < 5; ++s) arb.add_session(s);
+
+  // Five sessions ready at layer 7; one grant covers max_batch of them,
+  // leader first then ties broken toward the lower id.
+  const std::vector<int64_t> candidates{1, 2, 3, 4};
+  std::vector<int64_t> gang;
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/7, candidates, gang));
+  EXPECT_EQ(gang, (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(arb.grants(), 1);  // the whole gang is ONE grant
+  arb.release(0);
+
+  // The left-out peer leads its own (lone) gang next.
+  ASSERT_TRUE(arb.try_acquire_gang(4, /*layer=*/7, {}, gang));
+  EXPECT_EQ(gang, std::vector<int64_t>{4});
+  arb.release(4);
+
+  const auto snap = registry.snapshot();
+  const auto* hist = snap.find_histogram("serve.arbiter.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->stats.count, 2);    // two grants...
+  EXPECT_EQ(hist->stats.sum, 5.0);    // ...covering five frames
+  EXPECT_EQ(snap.counter_value("serve.arbiter.grants"), 2);
+}
+
+TEST(EngineArbiter, GangPrefersHigherTierPeers) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry, {.max_batch = 3});
+  arb.add_session(0);
+  arb.add_session(1, /*weight=*/1, /*priority=*/0);
+  arb.add_session(2, /*weight=*/1, /*priority=*/1);
+  arb.add_session(3, /*weight=*/1, /*priority=*/0);
+  // Room for two peers: the high-tier session rides first, then the
+  // lowest-id equal-vtime peer.
+  const std::vector<int64_t> candidates{1, 2, 3};
+  std::vector<int64_t> gang;
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/2, candidates, gang));
+  EXPECT_EQ(gang, (std::vector<int64_t>{0, 2, 1}));
+  arb.release(0);
+}
+
+TEST(EngineArbiter, PendingSameLayerPeerRidesAlongInsteadOfBlocking) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry, {.max_batch = 2});
+  arb.add_session(0);
+  arb.add_session(1);
+  std::vector<int64_t> gang;
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/3, {}, gang));
+  EXPECT_FALSE(arb.try_acquire_gang(1, /*layer=*/3, {}, gang));
+  arb.release(0);
+  // Session 1 now has the stronger claim (smaller vtime): a layer-agnostic
+  // re-acquire by 0 must yield to it...
+  EXPECT_FALSE(arb.try_acquire(0));
+  arb.cancel(0);
+  // ...but offering 1 a seat in the gang is at least as good as leading,
+  // so the gang grant goes through with the claimant aboard.
+  const std::vector<int64_t> candidates{1};
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/3, candidates, gang));
+  EXPECT_EQ(gang, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(arb.pending(), 0);  // the ganged claim is consumed
+  arb.release(0);
+}
+
+TEST(EngineArbiter, LingerHoldsPartialBatchThenSettles) {
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry, {.max_batch = 4, .batch_linger_us = 2000});
+  arb.add_session(0);
+  arb.add_session(1);
+  arb.add_session(2);  // outside the gang: lingering is worthwhile
+  const std::vector<int64_t> candidates{1};
+  std::vector<int64_t> gang;
+  // Partial gang (2 of 4) with a third session around: hold off.
+  EXPECT_FALSE(arb.try_acquire_gang(0, /*layer=*/5, candidates, gang));
+  const auto deadline = arb.linger_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_FALSE(arb.try_acquire_gang(0, /*layer=*/5, candidates, gang));
+  EXPECT_FALSE(arb.busy());  // the engine stays free while lingering
+  std::this_thread::sleep_until(*deadline + std::chrono::microseconds(100));
+  // Deadline passed and nobody else arrived: settle for the partial gang.
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/5, candidates, gang));
+  EXPECT_EQ(gang, (std::vector<int64_t>{0, 1}));
+  EXPECT_FALSE(arb.linger_deadline().has_value());
+  arb.release(0);
+}
+
+TEST(EngineArbiter, LingerSkippedWhenBatchFullOrAllAboard) {
+  telemetry::MetricsRegistry registry;
+  // Absurdly long linger: any wait would hang the test.
+  EngineArbiter arb(&registry, {.max_batch = 2, .batch_linger_us = 5000000});
+  arb.add_session(0);
+  arb.add_session(1);
+  arb.add_session(2);
+  std::vector<int64_t> gang;
+  // Full batch: granting now cannot get better.
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/1, std::vector<int64_t>{1},
+                                   gang));
+  EXPECT_EQ(gang.size(), 2u);
+  arb.release(0);
+  arb.remove_session(2);
+  // Partial batch but every live session is aboard: nobody to wait for.
+  EngineArbiter all(&registry, {.max_batch = 8, .batch_linger_us = 5000000});
+  all.add_session(0);
+  all.add_session(1);
+  ASSERT_TRUE(all.try_acquire_gang(0, /*layer=*/1, std::vector<int64_t>{1},
+                                   gang));
+  EXPECT_EQ(gang.size(), 2u);
+  all.release(0);
+}
+
+TEST(EngineArbiter, RemovedSessionNeverJoinsGang) {
+  // Regression: the server's candidate scan can race a close — the
+  // arbiter must skip a candidate whose session was removed between the
+  // scan and the gang grant, and the removal must purge the (session,
+  // layer) gang-queue entry.
+  telemetry::MetricsRegistry registry;
+  EngineArbiter arb(&registry, {.max_batch = 4});
+  arb.add_session(0);
+  arb.add_session(1);
+  arb.add_session(2);
+  std::vector<int64_t> gang;
+  ASSERT_TRUE(arb.try_acquire_gang(0, /*layer=*/9, {}, gang));
+  EXPECT_FALSE(arb.try_acquire_gang(1, /*layer=*/9, {}, gang));  // queued at 9
+  arb.remove_session(1);  // closed while its gang-queue claim matures
+  EXPECT_EQ(arb.pending(), 0);
+  arb.release(0);
+  // Stale candidate list still naming session 1: it must not be seated.
+  const std::vector<int64_t> stale{1, 0};
+  ASSERT_TRUE(arb.try_acquire_gang(2, /*layer=*/9, stale, gang));
+  EXPECT_EQ(gang, (std::vector<int64_t>{2, 0}));
+  arb.release(2);
 }
 
 // --- StreamServer: the 4x64 stress test (tier-1, primary TSan target) ---
@@ -791,6 +932,222 @@ TEST(StreamServer, GoldenSoakChurnDoesNotPerturbResults) {
   const auto got = run_churny_serving_session(29, kFrames);
   ASSERT_EQ(ref.size(), static_cast<size_t>(kFrames));
   expect_bit_identical(ref, got);
+}
+
+// --- StreamServer: gang-scheduled engine stages ---
+
+/// An engine stage all sessions share: batch_work stamps every ganged
+/// frame deterministically (sequence-derived, independent of who else is
+/// in the gang) and tallies the observed batch sizes.
+ServeStage gang_engine_stage(std::atomic<int64_t>* frames,
+                             std::atomic<int64_t>* passes,
+                             std::atomic<int64_t>* largest) {
+  ServeStage stage;
+  stage.name = "engine";
+  stage.uses_engine = true;
+  stage.engine_layer = 0;
+  stage.batch_work = [frames, passes,
+                      largest](std::span<video::Frame* const> gang) {
+    passes->fetch_add(1);
+    frames->fetch_add(static_cast<int64_t>(gang.size()));
+    int64_t seen = largest->load();
+    while (seen < static_cast<int64_t>(gang.size()) &&
+           !largest->compare_exchange_weak(seen,
+                                           static_cast<int64_t>(gang.size())))
+      ;
+    for (video::Frame* f : gang) {
+      f->features = Tensor(Shape{1});
+      f->features[0] = static_cast<float>(1000 + f->sequence);
+    }
+    // One weight stream for the whole gang, then per-frame compute.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  };
+  return stage;
+}
+
+TEST(StreamServer, GangBatchesSameLayerFramesAcrossSessions) {
+  constexpr int kStreams = 4;
+  constexpr int64_t kFrames = 24;
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 2 * kStreams;
+  opts.metrics = &registry;
+  opts.arbiter = {.max_batch = kStreams, .batch_linger_us = 2000};
+  StreamServer server(opts);
+
+  std::atomic<int64_t> engine_frames{0}, engine_passes{0}, largest_gang{0};
+  std::vector<std::vector<int64_t>> delivered(kStreams);
+  std::vector<std::unique_ptr<std::mutex>> sink_mutex;
+  for (int i = 0; i < kStreams; ++i)
+    sink_mutex.push_back(std::make_unique<std::mutex>());
+  for (int i = 0; i < kStreams; ++i) {
+    SessionConfig sc;
+    sc.stages.push_back({"pre", [](video::Frame&) {
+                           std::this_thread::sleep_for(
+                               std::chrono::microseconds(100));
+                         }, false});
+    sc.stages.push_back(
+        gang_engine_stage(&engine_frames, &engine_passes, &largest_gang));
+    auto* out = &delivered[static_cast<size_t>(i)];
+    auto* m = sink_mutex[static_cast<size_t>(i)].get();
+    sc.deliver = [out, m](video::Frame&& f) {
+      // The batched stamp must be deterministic per frame, whatever gang
+      // it rode in.
+      ASSERT_EQ(f.features.numel(), 1);
+      EXPECT_EQ(f.features[0], static_cast<float>(1000 + f.sequence));
+      std::lock_guard lock(*m);
+      out->push_back(f.sequence);
+    };
+    sc.queue_capacity = kFrames;
+    server.open_session(std::move(sc));
+  }
+  server.start();
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kStreams; ++i) {
+    producers.emplace_back([&server, i] {
+      for (int64_t seq = 0; seq < kFrames; ++seq)
+        ASSERT_EQ(server.submit(i, make_frame(seq)), ServeResult::kAccepted);
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.drain();
+  server.stop();
+
+  // Nothing lost, order preserved, per stream.
+  for (int i = 0; i < kStreams; ++i) {
+    const auto& seqs = delivered[static_cast<size_t>(i)];
+    ASSERT_EQ(seqs.size(), static_cast<size_t>(kFrames)) << "stream " << i;
+    for (int64_t s = 0; s < kFrames; ++s)
+      EXPECT_EQ(seqs[static_cast<size_t>(s)], s) << "stream " << i;
+  }
+  // Every frame crossed the engine exactly once, and coalescing actually
+  // happened: fewer passes than frames, some gang bigger than one frame.
+  EXPECT_EQ(engine_frames.load(), kStreams * kFrames);
+  EXPECT_LT(engine_passes.load(), kStreams * kFrames);
+  EXPECT_GT(largest_gang.load(), 1);
+  // Arbiter accounting: grants == passes, histogram sums the gang sizes.
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.arbiter.grants"), engine_passes.load());
+  const auto* hist = snap.find_histogram("serve.arbiter.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->stats.count, engine_passes.load());
+  EXPECT_EQ(static_cast<int64_t>(hist->stats.sum), engine_frames.load());
+}
+
+TEST(StreamServer, GangFaultQuarantinesEveryMember) {
+  // A batch_work that throws poisons the whole gang: all member frames
+  // were in the same engine pass.
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.metrics = &registry;
+  opts.arbiter = {.max_batch = 2, .batch_linger_us = 20000};
+  StreamServer server(opts);
+  std::atomic<int64_t> delivered{0};
+  for (int i = 0; i < 2; ++i) {
+    SessionConfig sc;
+    ServeStage stage;
+    stage.name = "engine";
+    stage.uses_engine = true;
+    stage.engine_layer = 0;
+    stage.batch_work = [](std::span<video::Frame* const> gang) {
+      if (gang.size() > 1) throw std::runtime_error("gang fault");
+      // Lone frames pass: the sessions only fault when actually ganged.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    };
+    sc.stages.push_back(std::move(stage));
+    sc.deliver = [&delivered](video::Frame&&) { delivered++; };
+    sc.queue_capacity = 8;
+    server.open_session(std::move(sc));
+  }
+  server.start();
+  for (int64_t seq = 0; seq < 4; ++seq) {
+    ASSERT_EQ(server.submit(0, make_frame(seq)), ServeResult::kAccepted);
+    ASSERT_EQ(server.submit(1, make_frame(seq)), ServeResult::kAccepted);
+  }
+  server.drain();
+  server.stop();
+  // Either some lone grants went through first or the very first pass was
+  // ganged — but once a gang formed, BOTH members must be quarantined.
+  if (server.quarantined(0) || server.quarantined(1)) {
+    EXPECT_TRUE(server.quarantined(0));
+    EXPECT_TRUE(server.quarantined(1));
+    EXPECT_EQ(server.fault_message(0), "gang fault");
+    EXPECT_EQ(server.fault_message(1), "gang fault");
+  }
+}
+
+TEST(StreamServer, CloseMidBatchChurnStaysConsistent) {
+  // Sessions churn while gangs form: closes race the candidate scan, new
+  // sessions join mid-serve. Run under TSan (tier2-tsan) for the data-race
+  // half of the claim; the invariant half (no lost/duplicated frames,
+  // survivors unquarantined) is checked here.
+  constexpr int64_t kFrames = 16;
+  telemetry::MetricsRegistry registry;
+  ServerOptions opts;
+  opts.num_workers = 6;
+  opts.metrics = &registry;
+  opts.arbiter = {.max_batch = 3, .batch_linger_us = 500};
+  StreamServer server(opts);
+
+  std::atomic<int64_t> engine_frames{0}, engine_passes{0}, largest_gang{0};
+  std::vector<std::atomic<int64_t>> delivered(8);
+  auto open_one = [&](int slot) {
+    SessionConfig sc;
+    sc.stages.push_back(
+        gang_engine_stage(&engine_frames, &engine_passes, &largest_gang));
+    auto* count = &delivered[static_cast<size_t>(slot)];
+    sc.deliver = [count](video::Frame&& f) {
+      ASSERT_EQ(f.features.numel(), 1);
+      EXPECT_EQ(f.features[0], static_cast<float>(1000 + f.sequence));
+      count->fetch_add(1);
+    };
+    sc.queue_capacity = kFrames;
+    return server.open_session(std::move(sc));
+  };
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(open_one(i));
+  server.start();
+
+  std::vector<std::thread> producers;
+  for (int i = 0; i < 4; ++i) {
+    const int64_t sid = ids[static_cast<size_t>(i)];  // ids grows concurrently
+    producers.emplace_back([&server, sid] {
+      for (int64_t seq = 0; seq < kFrames; ++seq) {
+        server.submit(sid, make_frame(seq));
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  // Churn against the producers: close two sessions mid-batch-formation,
+  // open two replacements that immediately contend for gangs.
+  std::this_thread::sleep_for(std::chrono::microseconds(600));
+  server.close_session(ids[1]);
+  ids.push_back(open_one(4));
+  std::this_thread::sleep_for(std::chrono::microseconds(600));
+  server.close_session(ids[3]);
+  ids.push_back(open_one(5));
+  for (int64_t seq = 0; seq < kFrames; ++seq)
+    server.submit(ids[4], make_frame(seq));
+  for (auto& t : producers) t.join();
+  server.drain();
+  server.stop();
+
+  // Survivors are healthy; closed sessions answered kClosed past the cut.
+  for (const int64_t id : {ids[0], ids[2], ids[4], ids[5]})
+    EXPECT_FALSE(server.quarantined(id)) << "session " << id;
+  EXPECT_TRUE(server.closed(ids[1]));
+  EXPECT_TRUE(server.closed(ids[3]));
+  // Engine accounting stayed exact through the churn: the batch_size
+  // histogram covers every engine frame, one grant per pass.
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.counter_value("serve.arbiter.grants"), engine_passes.load());
+  const auto* hist = snap.find_histogram("serve.arbiter.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(hist->stats.sum), engine_frames.load());
+  // Everything admitted to a surviving session was delivered.
+  for (const int64_t id : {ids[0], ids[2]})
+    EXPECT_EQ(server.delivered(id), kFrames) << "session " << id;
 }
 
 }  // namespace

@@ -15,8 +15,18 @@
 // faults. The offending session's telemetry summary is printed on a
 // violation.
 //
+// With --batching it validates the gang-scheduling surface of a batched
+// run (`multistream --batched --metrics-json`): the
+// serve.arbiter.batch_size histogram and the fabric.dma_* counters must
+// be present and internally consistent — every frame coalesced beyond
+// the first of its pass is one amortized weight stream (amortized ==
+// histogram sum − histogram count), and the saved cycles are
+// (batch_size − 1) × weight_dma per coalesced pass, so saved is a
+// positive multiple of amortized exactly when any batching happened.
+//
 // Usage: tincy_check_metrics <metrics.json>
-//          [--frames N | --serve-frames N | --slo [--p99-ms X]] [--gemm]
+//          [--frames N | --serve-frames N | --slo [--p99-ms X] |
+//           --batching] [--gemm]
 
 #include <cstdio>
 #include <cstring>
@@ -52,6 +62,7 @@ int main(int argc, char** argv) {
   int64_t expect_serve_frames = -1;
   bool expect_gemm = false;
   bool check_slo = false;
+  bool check_batching = false;
   double slo_p99_ms = 150.0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
@@ -60,6 +71,7 @@ int main(int argc, char** argv) {
       expect_serve_frames = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--gemm") == 0) expect_gemm = true;
     if (std::strcmp(argv[i], "--slo") == 0) check_slo = true;
+    if (std::strcmp(argv[i], "--batching") == 0) check_batching = true;
     if (std::strcmp(argv[i], "--p99-ms") == 0 && i + 1 < argc)
       slo_p99_ms = std::atof(argv[i + 1]);
   }
@@ -92,6 +104,58 @@ int main(int argc, char** argv) {
       if (s.p99 > s.max + 1e-9) return fail(h.name + ": p99 > max");
       if (s.sum + 1e-9 < s.max) return fail(h.name + ": sum < max");
     }
+  }
+
+  // Batching mode: validate the gang-scheduling telemetry surface.
+  if (check_batching) {
+    const auto* bs = snapshot.find_histogram("serve.arbiter.batch_size");
+    if (!bs) return fail("serve.arbiter.batch_size missing");
+    const auto& s = bs->stats;
+    if (s.count < 1) return fail("serve.arbiter.batch_size: no grants");
+    if (s.min < 1.0) return fail("serve.arbiter.batch_size: min < 1");
+    const int64_t passes = s.count;
+    const int64_t frames = static_cast<int64_t>(s.sum + 0.5);
+    if (frames < passes)
+      return fail("serve.arbiter.batch_size: sum " + std::to_string(frames) +
+                  " < count " + std::to_string(passes));
+    const int64_t grants = snapshot.counter_value("serve.arbiter.grants");
+    if (grants != passes)
+      return fail("serve.arbiter.grants " + std::to_string(grants) +
+                  " != batch_size histogram count " + std::to_string(passes));
+    if (!snapshot.find_counter("fabric.dma_amortized"))
+      return fail("fabric.dma_amortized missing");
+    const int64_t amortized = snapshot.counter_value("fabric.dma_amortized");
+    // Every frame beyond the first of its pass is one amortized weight
+    // stream: amortized == sum(batch − 1) == histogram sum − count.
+    if (amortized != frames - passes)
+      return fail("fabric.dma_amortized " + std::to_string(amortized) +
+                  " != coalesced frames " + std::to_string(frames - passes));
+    if (!snapshot.find_counter("fabric.dma_saved_cycles"))
+      return fail("fabric.dma_saved_cycles missing");
+    const int64_t saved = snapshot.counter_value("fabric.dma_saved_cycles");
+    // Saved cycles are (batch − 1) × weight_dma per coalesced pass, so
+    // they vanish exactly when nothing was amortized and otherwise carry
+    // at least one modeled DMA cycle per amortized stream.
+    if ((saved == 0) != (amortized == 0))
+      return fail("fabric.dma_saved_cycles " + std::to_string(saved) +
+                  " inconsistent with fabric.dma_amortized " +
+                  std::to_string(amortized));
+    if (saved < amortized)
+      return fail("fabric.dma_saved_cycles " + std::to_string(saved) +
+                  " < fabric.dma_amortized " + std::to_string(amortized));
+    const int64_t bpasses = snapshot.counter_value("fabric.batched_passes");
+    const int64_t bframes = snapshot.counter_value("fabric.batched_frames");
+    if (bframes - bpasses != amortized)
+      return fail("fabric.batched_frames - fabric.batched_passes " +
+                  std::to_string(bframes - bpasses) +
+                  " != fabric.dma_amortized " + std::to_string(amortized));
+    std::printf("metrics OK: %lld engine grants over %lld frames, %lld "
+                "weight streams amortized (%lld modeled cycles saved)\n",
+                static_cast<long long>(passes),
+                static_cast<long long>(frames),
+                static_cast<long long>(amortized),
+                static_cast<long long>(saved));
+    return 0;
   }
 
   // SLO mode: gate a soak run's tail latency and quarantine accounting.
