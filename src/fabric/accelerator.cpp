@@ -1,9 +1,12 @@
 #include "fabric/accelerator.hpp"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "core/errors.hpp"
 #include "quant/thresholds.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tincy::fabric {
 
@@ -114,6 +117,27 @@ void QnnAccelerator::run_layer_batched(int64_t i,
   const int64_t out_numel = s.output_shape().numel();
   TINCY_CHECK(static_cast<int64_t>(inputs.size()) == batch * in_numel);
   TINCY_CHECK(static_cast<int64_t>(outputs.size()) == batch * out_numel);
+
+  // One span per engine pass, annotated with the cycle-model split so a
+  // Perfetto timeline shows where each pass's cycles went. The frame
+  // identity comes from the worker's thread-local context.
+  char span_name[32];
+  std::snprintf(span_name, sizeof span_name, "fabric.layer%" PRId64, i);
+  telemetry::TraceSpan trace_span(&telemetry::TraceCollector::global(),
+                                  span_name,
+                                  telemetry::current_trace_context());
+  if (trace_span.active()) {
+    const LayerPerf perf = layer_perf_batched(i, batch);
+    char args[telemetry::TraceEvent::kArgsCapacity];
+    std::snprintf(args, sizeof args,
+                  "\"batch\":%" PRId64 ",\"compute\":%" PRId64
+                  ",\"wdma\":%" PRId64 ",\"fmap\":%" PRId64
+                  ",\"overhead\":%" PRId64 ",\"pool\":%" PRId64,
+                  perf.batch, perf.compute_cycles, perf.weight_dma_cycles,
+                  perf.fmap_dma_cycles, perf.overhead_cycles,
+                  perf.pool_cycles);
+    trace_span.set_args(args);
+  }
 
   const int64_t n = stage.swu.num_columns();
   const int64_t rows = stage.mvtu.rows();

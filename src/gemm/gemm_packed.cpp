@@ -6,6 +6,7 @@
 #include "gemm/scratch.hpp"
 #include "simd/vec.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tincy::gemm {
 
@@ -253,6 +254,8 @@ PackedLhs pack_lhs(const uint8_t* A, int64_t rows, int64_t depth,
   packed.data.resize(static_cast<size_t>(packed_lhs_bytes(rows, depth)));
   packed.row_sums.resize(static_cast<size_t>(rows));
   telemetry::ScopedTimer span(pack_hist);
+  telemetry::TraceSpan trace(&telemetry::TraceCollector::global(),
+                             "gemm.pack", telemetry::current_trace_context());
   pack_lhs_into(A, rows, depth, zero_point, packed.data.data(),
                 packed.row_sums.data());
   return packed;
@@ -311,6 +314,9 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
   const int64_t M = lhs.rows, K = lhs.depth;
   if (M <= 0 || N <= 0) return;
   telemetry::ScopedTimer span(packed_hist);
+  telemetry::TraceSpan trace(&telemetry::TraceCollector::global(),
+                             "gemm.compute",
+                             telemetry::current_trace_context());
 
   Accumulator acc = opts.acc;
   if (acc == Accumulator::kAuto)

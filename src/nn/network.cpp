@@ -12,9 +12,10 @@ Network::Network(Shape input_shape, telemetry::MetricsRegistry* metrics)
 void Network::add(LayerPtr layer) {
   TINCY_CHECK(layer != nullptr);
   outputs_.emplace_back(layer->output_shape());
-  layer_hist_.push_back(&metrics_->histogram(
-      "net.layer." + std::to_string(layers_.size()) + "." +
-      layer->type_name() + ".ms"));
+  const std::string label = "net.layer." + std::to_string(layers_.size()) +
+                            "." + layer->type_name();
+  layer_hist_.push_back(&metrics_->histogram(label + ".ms"));
+  layer_trace_names_.push_back(label);
   layers_.push_back(std::move(layer));
 }
 
@@ -48,6 +49,11 @@ const Tensor& Network::run_layer(int64_t i, const Tensor& in) {
 void Network::run_layer_into(int64_t i, const Tensor& in, Tensor& out) {
   TINCY_CHECK_MSG(i >= 0 && i < num_layers(), "layer " << i);
   telemetry::ScopedTimer span(*layer_hist_[static_cast<size_t>(i)]);
+  // Trace span tagged with the frame identity installed by the
+  // server/pipeline worker (docs/observability.md "Tracing").
+  telemetry::TraceSpan trace(&telemetry::TraceCollector::global(),
+                             layer_trace_names_[static_cast<size_t>(i)],
+                             telemetry::current_trace_context());
   layers_[static_cast<size_t>(i)]->forward(in, out);
 }
 

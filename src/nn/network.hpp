@@ -16,6 +16,7 @@
 
 #include "nn/layer.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tincy::nn {
 
@@ -76,6 +77,7 @@ class Network {
   std::vector<LayerPtr> layers_;
   std::vector<Tensor> outputs_;
   std::vector<telemetry::Histogram*> layer_hist_;  ///< net.layer.<i>.<type>.ms
+  std::vector<std::string> layer_trace_names_;     ///< net.layer.<i>.<type>
   telemetry::Histogram* forward_hist_;             ///< net.forward.ms
 };
 

@@ -81,6 +81,7 @@ DemoResult run_demo(video::SyntheticCamera& camera, nn::Network& net,
   options.sink = [&sink](const video::Frame& f) { sink.push(f); };
   options.num_workers = cfg.num_workers;
   options.metrics = cfg.metrics;
+  options.trace = cfg.trace;
   Pipeline pipeline(std::move(options));
   pipeline.run(num_frames);
   // The snapshot is the result; the legacy fields are derived from the

@@ -26,6 +26,9 @@ struct DemoConfig {
   /// default. The network keeps reporting into its own registry (set at
   /// construction) — pass the same one for a unified snapshot.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Trace sink handed to the pipeline (per-frame spans); null selects
+  /// telemetry::TraceCollector::global().
+  telemetry::TraceCollector* trace = nullptr;
 };
 
 /// Builds the Fig. 5 stage list around `net`. The network must end in a

@@ -36,8 +36,13 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
   TINCY_CHECK(options_.source != nullptr && options_.sink != nullptr);
   metrics_ = options_.metrics ? options_.metrics
                               : &telemetry::MetricsRegistry::global();
+  trace_ = options_.trace ? options_.trace
+                          : &telemetry::TraceCollector::global();
 
   stage_metrics_.reserve(options_.stages.size());
+  stage_trace_names_.reserve(options_.stages.size());
+  for (const auto& stage : options_.stages)
+    stage_trace_names_.push_back("stage:" + stage.name);
   for (const auto& stage : options_.stages) {
     const std::string prefix =
         "pipeline.stage." + metric_label(stage.name) + ".";
@@ -123,11 +128,29 @@ void Pipeline::worker_loop(int worker_index) {
     cv_.notify_all();  // freeing the input slot may enable upstream work
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (job == 0) frame = options_.source();  // serialized: slot 0 reserved
-    options_.stages[static_cast<size_t>(job)].work(frame);
+    if (job == 0) {
+      frame = options_.source();  // serialized: slot 0 reserved
+      if (trace_->enabled()) trace_->async_begin("frame", -1, frame.sequence);
+    }
+    {
+      // Nested net.layer/gemm spans inherit the frame id via the context.
+      telemetry::ScopedTraceContext tctx(-1, frame.sequence);
+      telemetry::TraceSpan span(trace_,
+                                stage_trace_names_[static_cast<size_t>(job)],
+                                -1, frame.sequence);
+      options_.stages[static_cast<size_t>(job)].work(frame);
+    }
     const bool is_last =
         job == static_cast<int64_t>(options_.stages.size()) - 1;
-    if (is_last) options_.sink(frame);  // "the video sink is always free"
+    if (is_last) {
+      {
+        telemetry::TraceSpan span(trace_, "sink", -1, frame.sequence);
+        options_.sink(frame);  // "the video sink is always free"
+      }
+      if (trace_->enabled())
+        trace_->async_end("frame", -1, frame.sequence,
+                          "\"outcome\":\"delivered\"");
+    }
     const auto t1 = std::chrono::steady_clock::now();
     sm.busy_ms->record(ms_between(t0, t1));
     sm.jobs->add(1);

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "video/frame.hpp"
 
 namespace tincy::pipeline {
@@ -71,6 +72,10 @@ struct PipelineOptions {
   bool collect_latency = true;  ///< per-frame source->sink latency spans
   /// Registry to report into; null selects the process-wide default.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Trace sink for per-frame spans (async "frame" source->sink,
+  /// "stage:<name>" and "sink" complete spans); null selects
+  /// telemetry::TraceCollector::global(). Only emits while enabled.
+  telemetry::TraceCollector* trace = nullptr;
 };
 
 class Pipeline {
@@ -158,6 +163,8 @@ class Pipeline {
 
   PipelineOptions options_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::TraceCollector* trace_;
+  std::vector<std::string> stage_trace_names_;  ///< "stage:<name>" labels
 
   std::mutex mutex_;
   std::condition_variable cv_;

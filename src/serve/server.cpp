@@ -1,8 +1,12 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "core/errors.hpp"
 
@@ -15,10 +19,17 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Session names become metric-name components (cf. pipeline stages).
+/// Session names become metric-name components and flight-recorder file
+/// names: anything outside [A-Za-z0-9._-] is mapped to '_' so a name
+/// containing '"', '\', '/' or other punctuation can never corrupt a
+/// metric name, a JSON export or a dump path.
 std::string metric_label(const std::string& name) {
   std::string out = name;
-  std::replace(out.begin(), out.end(), ' ', '_');
+  for (char& c : out) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                    c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
   return out;
 }
 
@@ -28,12 +39,17 @@ StreamServer::StreamServer(ServerOptions options)
     : options_(std::move(options)),
       metrics_(options_.metrics ? options_.metrics
                                 : &telemetry::MetricsRegistry::global()),
+      trace_(options_.trace ? options_.trace
+                            : &telemetry::TraceCollector::global()),
       arbiter_(metrics_, options_.arbiter) {
   TINCY_CHECK_MSG(options_.num_workers >= 1,
                   "num_workers " << options_.num_workers);
   TINCY_CHECK_MSG(options_.degrade_at > 0.0 && options_.degrade_at <= 1.0,
                   "degrade_at " << options_.degrade_at
                                 << " outside (0, 1]");
+  TINCY_CHECK_MSG(options_.flight_recorder_events >= 1,
+                  "flight_recorder_events "
+                      << options_.flight_recorder_events);
 }
 
 StreamServer::~StreamServer() { stop(); }
@@ -55,16 +71,27 @@ int64_t StreamServer::open_session(SessionConfig cfg) {
                   "queue_capacity " << cfg.queue_capacity);
   TINCY_CHECK_MSG(cfg.weight >= 1, "weight " << cfg.weight);
   TINCY_CHECK_MSG(cfg.priority >= 0, "priority " << cfg.priority);
+  TINCY_CHECK_MSG(cfg.name.size() <= 100,
+                  "session name of " << cfg.name.size()
+                                     << " chars exceeds the 100-char limit");
   std::unique_lock lock(mutex_);
   const int64_t id = static_cast<int64_t>(sessions_.size());
   auto s = std::make_unique<Session>();
   s->cfg = std::move(cfg);
   if (s->cfg.name.empty()) s->cfg.name = "s" + std::to_string(id);
+  // Normalize once so the session name, its metric names and its
+  // flight-recorder file all agree (and stay JSON/path-safe).
+  s->cfg.name = metric_label(s->cfg.name);
   s->slots.resize(s->cfg.stages.size());
-  const std::string prefix =
-      "serve.session." + metric_label(s->cfg.name) + ".";
+  s->stage_trace_names.reserve(s->cfg.stages.size());
+  for (const auto& st : s->cfg.stages)
+    s->stage_trace_names.push_back("stage:" + st.name);
+  const std::string prefix = "serve.session." + s->cfg.name + ".";
   s->frames_counter = &metrics_->counter(prefix + "frames");
   s->latency_hist = &metrics_->histogram(prefix + "latency_ms");
+  s->latency_window = &metrics_->windowed_histogram(prefix + "latency_ms.window");
+  s->fps_window = &metrics_->windowed_rate(prefix + "fps.window");
+  s->queue_depth_gauge = &metrics_->gauge(prefix + "queue_depth");
   s->rejected_counter = &metrics_->counter(prefix + "rejected");
   s->shed_counter = &metrics_->counter(prefix + "shed");
   s->degraded_counter = &metrics_->counter(prefix + "degraded");
@@ -91,6 +118,13 @@ void StreamServer::close_session(int64_t session) {
   // and finish to delivery.
   const int64_t queued = static_cast<int64_t>(s.queue.size());
   if (queued > 0) {
+    if (trace_->enabled()) {
+      for (const auto& f : s.queue) {
+        trace_->async_end("queue", session, f.sequence);
+        trace_->async_end("frame", session, f.sequence,
+                          "\"outcome\":\"dropped\"");
+      }
+    }
     s.queue.clear();
     s.submit_times.erase(s.submit_times.end() - queued, s.submit_times.end());
     s.discarded += queued;
@@ -121,6 +155,9 @@ void StreamServer::start() {
                          s.cfg.priority);
   }
   rr_next_ = 0;
+  // grant_seq_/wait_seq_ deliberately keep counting across start() calls
+  // so trace ids stay unique over a whole process's trace.
+  start_time_ = std::chrono::steady_clock::now();
   stopping_ = false;
   running_ = true;
   workers_.reserve(static_cast<size_t>(options_.num_workers));
@@ -144,6 +181,12 @@ ServeResult StreamServer::submit(int64_t session, video::Frame frame) {
       // are untouchable) to make room. Its timestamp sits right after the
       // in-flight block at the front of submit_times.
       const size_t in_flight = s.submit_times.size() - s.queue.size();
+      if (trace_->enabled()) {
+        const int64_t shed_seq = s.queue.front().sequence;
+        trace_->async_end("queue", session, shed_seq);
+        trace_->async_end("frame", session, shed_seq,
+                          "\"outcome\":\"shed\"");
+      }
       s.queue.pop_front();
       s.submit_times.erase(s.submit_times.begin() +
                            static_cast<std::ptrdiff_t>(in_flight));
@@ -162,12 +205,39 @@ ServeResult StreamServer::submit(int64_t session, video::Frame frame) {
       s.degraded_counter->add(1);
     }
   }
+  if (trace_->enabled()) {
+    trace_->async_begin("frame", session, frame.sequence);
+    trace_->async_begin("queue", session, frame.sequence);
+  }
   s.queue.push_back(std::move(frame));
   s.submit_times.push_back(std::chrono::steady_clock::now());
   ++s.admitted;
   lock.unlock();
   cv_.notify_all();
   return ServeResult::kAccepted;
+}
+
+void StreamServer::trace_engine_granted_locked(Session& s, int64_t session,
+                                               int64_t layer) {
+  if (s.engine_wait_start_ms < 0) return;
+  if (trace_->enabled()) {
+    // The wait is only known retroactively, at grant time, and the
+    // denial may have been observed by another worker — so it cannot be
+    // a complete span on this thread's track (it would overlap spans
+    // that ran here in the meantime). An async pair with its own id
+    // keeps it an honest cross-thread interval.
+    const double now = trace_->now_ms();
+    const int64_t wait_id = wait_seq_++;
+    char args[64];
+    std::snprintf(args, sizeof args, "\"layer\":%lld,\"wait_ms\":%.3f",
+                  static_cast<long long>(layer),
+                  now - s.engine_wait_start_ms);
+    trace_->emit(telemetry::TracePhase::kAsyncBegin, "arbiter.wait", session,
+                 wait_id, args, 0.0, s.engine_wait_start_ms);
+    trace_->emit(telemetry::TracePhase::kAsyncEnd, "arbiter.wait", session,
+                 wait_id, args, 0.0, now);
+  }
+  s.engine_wait_start_ms = -1.0;
 }
 
 bool StreamServer::find_job_locked(Job& job) {
@@ -197,7 +267,13 @@ bool StreamServer::find_job_locked(Job& job) {
       // a refusal leaves a maturing claim with the arbiter and the scan
       // moves on to overlappable CPU work of other sessions.
       if (st.engine_layer < 0) {
-        if (!arbiter_.try_acquire(static_cast<int64_t>(si))) continue;
+        if (!arbiter_.try_acquire(static_cast<int64_t>(si))) {
+          if (s.engine_wait_start_ms < 0 && trace_->enabled())
+            s.engine_wait_start_ms = trace_->now_ms();
+          continue;
+        }
+        trace_engine_granted_locked(s, static_cast<int64_t>(si),
+                                    st.engine_layer);
         job.members.assign(1, Claim{static_cast<int64_t>(si), i});
         job.engine = true;
         rr_next_ = (si + 1) % n;
@@ -229,8 +305,13 @@ bool StreamServer::find_job_locked(Job& job) {
       }
       std::vector<int64_t> gang;
       if (!arbiter_.try_acquire_gang(static_cast<int64_t>(si),
-                                     st.engine_layer, cands, gang))
+                                     st.engine_layer, cands, gang)) {
+        if (s.engine_wait_start_ms < 0 && trace_->enabled())
+          s.engine_wait_start_ms = trace_->now_ms();
         continue;
+      }
+      trace_engine_granted_locked(s, static_cast<int64_t>(si),
+                                  st.engine_layer);
       job.members.clear();
       job.members.push_back(Claim{static_cast<int64_t>(si), i});
       for (size_t g = 1; g < gang.size(); ++g)
@@ -268,6 +349,7 @@ void StreamServer::worker_loop() {
     // the Session objects themselves are heap-stable.
     const size_t nm = job.members.size();
     std::vector<video::Frame> frames(nm);
+    std::vector<int64_t> seqs(nm, -1);
     std::vector<Session*> member_sessions(nm);
     for (size_t m = 0; m < nm; ++m) {
       Session& ms = *sessions_[static_cast<size_t>(job.members[m].session)];
@@ -275,12 +357,46 @@ void StreamServer::worker_loop() {
       Slot& mout = ms.slots[static_cast<size_t>(job.members[m].stage)];
       mout.reserved = true;
       if (job.members[m].stage == 0) {
+        // Admission-queue dwell of the claimed frame: its submission
+        // timestamp sits right after the in-flight block. Feeds the
+        // Little's-law queue_depth gauge (Σ dwell / elapsed) and closes
+        // the frame's "queue" trace span.
+        const auto now = std::chrono::steady_clock::now();
+        const size_t in_flight = ms.submit_times.size() - ms.queue.size();
+        const double dwell = ms_between(ms.submit_times[in_flight], now);
+        ms.queue_wait_ms += dwell;
+        ms.queue_depth_gauge->set(
+            ms.queue_wait_ms / std::max(ms_between(start_time_, now), 1e-6));
         frames[m] = std::move(ms.queue.front());
         ms.queue.pop_front();
+        if (trace_->enabled()) {
+          char args[48];
+          std::snprintf(args, sizeof args, "\"dwell_ms\":%.3f", dwell);
+          trace_->async_end("queue", job.members[m].session,
+                            frames[m].sequence, args);
+        }
       } else {
         Slot& min = ms.slots[static_cast<size_t>(job.members[m].stage - 1)];
         frames[m] = std::move(*min.frame);
         min.frame.reset();  // input buffer becomes free (Fig. 6)
+      }
+      seqs[m] = frames[m].sequence;
+    }
+    if (job.engine && trace_->enabled()) {
+      // One seat instant per gang member; the leader carries the batch
+      // size, so trace accounting can be checked against
+      // serve.arbiter.batch_size (tools/check_metrics --trace).
+      const int64_t grant = grant_seq_++;
+      char args[96];
+      std::snprintf(args, sizeof args,
+                    "\"role\":\"leader\",\"grant\":%lld,\"batch\":%zu",
+                    static_cast<long long>(grant), nm);
+      trace_->instant("gang", job.members[0].session, seqs[0], args);
+      for (size_t m = 1; m < nm; ++m) {
+        std::snprintf(args, sizeof args,
+                      "\"role\":\"member\",\"grant\":%lld",
+                      static_cast<long long>(grant));
+        trace_->instant("gang", job.members[m].session, seqs[m], args);
       }
     }
     lock.unlock();
@@ -294,20 +410,34 @@ void StreamServer::worker_loop() {
         ls.cfg.stages[static_cast<size_t>(job.members[0].stage)];
     bool faulted = false;
     std::string fault;
-    try {
-      if (nm > 1 || !lstage.work) {
-        std::vector<video::Frame*> ptrs(nm);
-        for (size_t m = 0; m < nm; ++m) ptrs[m] = &frames[m];
-        lstage.batch_work(std::span<video::Frame* const>(ptrs));
-      } else {
-        lstage.work(frames[0]);
+    {
+      // Deep spans (net.layer, fabric, gemm) inherit the leader's frame
+      // identity through the thread-local context.
+      telemetry::ScopedTraceContext tctx(job.members[0].session, seqs[0]);
+      telemetry::TraceSpan span(
+          trace_, ls.stage_trace_names[static_cast<size_t>(
+                      job.members[0].stage)],
+          job.members[0].session, seqs[0]);
+      if (span.active()) {
+        char args[32];
+        std::snprintf(args, sizeof args, "\"batch\":%zu", nm);
+        span.set_args(args);
       }
-    } catch (const std::exception& e) {
-      faulted = true;
-      fault = e.what();
-    } catch (...) {
-      faulted = true;
-      fault = "non-standard exception";
+      try {
+        if (nm > 1 || !lstage.work) {
+          std::vector<video::Frame*> ptrs(nm);
+          for (size_t m = 0; m < nm; ++m) ptrs[m] = &frames[m];
+          lstage.batch_work(std::span<video::Frame* const>(ptrs));
+        } else {
+          lstage.work(frames[0]);
+        }
+      } catch (const std::exception& e) {
+        faulted = true;
+        fault = e.what();
+      } catch (...) {
+        faulted = true;
+        fault = "non-standard exception";
+      }
     }
     std::vector<char> member_faulted(nm, faulted ? 1 : 0);
     std::vector<std::string> member_fault(nm, fault);
@@ -325,6 +455,8 @@ void StreamServer::worker_loop() {
       const bool deliverable = !ms.quarantined;
       lock.unlock();
       if (!deliverable) continue;
+      telemetry::TraceSpan deliver_span(trace_, "deliver",
+                                        job.members[m].session, seqs[m]);
       try {
         ms.cfg.deliver(std::move(frames[m]));
       } catch (const std::exception& e) {
@@ -346,18 +478,30 @@ void StreamServer::worker_loop() {
       const bool last = job.members[m].stage ==
                         static_cast<int64_t>(ms.cfg.stages.size()) - 1;
       if (member_faulted[m]) {
+        if (trace_->enabled())
+          trace_->async_end("frame", job.members[m].session, seqs[m],
+                            "\"outcome\":\"fault\"");
         quarantine_locked(job.members[m].session, member_fault[m]);
         ++ms.discarded;  // the frame this worker was carrying
         ms.dropped_counter->add(1);
       } else if (ms.quarantined) {
+        if (trace_->enabled())
+          trace_->async_end("frame", job.members[m].session, seqs[m],
+                            "\"outcome\":\"dropped\"");
         ++ms.discarded;  // poisoned while in flight — never counted delivered
         ms.dropped_counter->add(1);
       } else if (last) {
         ++ms.done;
         ms.frames_counter->add(1);
-        ms.latency_hist->record(ms_between(ms.submit_times.front(),
-                                           std::chrono::steady_clock::now()));
+        const double latency_ms = ms_between(
+            ms.submit_times.front(), std::chrono::steady_clock::now());
+        ms.latency_hist->record(latency_ms);
+        ms.latency_window->record(latency_ms);
+        ms.fps_window->add(1);
         ms.submit_times.pop_front();
+        if (trace_->enabled())
+          trace_->async_end("frame", job.members[m].session, seqs[m],
+                            "\"outcome\":\"delivered\"");
       } else {
         mout.frame = std::move(frames[m]);
       }
@@ -369,6 +513,62 @@ void StreamServer::worker_loop() {
   }
 }
 
+void StreamServer::trace_drop_owned_locked(const Session& s, int64_t session,
+                                           const char* outcome) {
+  if (!trace_->enabled()) return;
+  char args[48];
+  std::snprintf(args, sizeof args, "\"outcome\":\"%s\"", outcome);
+  for (const auto& f : s.queue) {
+    trace_->async_end("queue", session, f.sequence);
+    trace_->async_end("frame", session, f.sequence, args);
+  }
+  for (const auto& slot : s.slots)
+    if (slot.frame.has_value())
+      trace_->async_end("frame", session, slot.frame->sequence, args);
+}
+
+void StreamServer::flight_record_locked(const Session& s, int64_t session,
+                                        const std::string& what) {
+  if (options_.flight_recorder_dir.empty()) return;
+  std::string header = "\"schema\":\"tincy.flight.v1\",\"session\":";
+  header += std::to_string(session);
+  header += ",\"sessionName\":\"";
+  header += s.cfg.name;  // normalized at open_session: JSON-safe
+  header += "\",\"fault\":";
+  // Escape the fault message: it is free-form exception text.
+  header += '"';
+  for (const char c : what) {
+    switch (c) {
+      case '"': header += "\\\""; break;
+      case '\\': header += "\\\\"; break;
+      case '\n': header += "\\n"; break;
+      case '\t': header += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          header += buf;
+        } else {
+          header += c;
+        }
+    }
+  }
+  header += '"';
+  const auto tail = trace_->session_tail(
+      session, static_cast<size_t>(options_.flight_recorder_events));
+  try {
+    std::filesystem::create_directories(options_.flight_recorder_dir);
+    const std::string path =
+        options_.flight_recorder_dir + "/flight_" + s.cfg.name + ".json";
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file.good()) return;  // post-mortem must never take the server down
+    const std::string json = telemetry::to_chrome_trace(tail, header);
+    file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  } catch (...) {
+    // I/O trouble while writing a post-mortem is not a serving fault.
+  }
+}
+
 void StreamServer::quarantine_locked(int64_t session,
                                      const std::string& what) {
   Session& s = *sessions_[static_cast<size_t>(session)];
@@ -377,6 +577,12 @@ void StreamServer::quarantine_locked(int64_t session,
   s.quarantined = true;
   s.last_fault = what;
   s.quarantined_gauge->set(1.0);
+  trace_drop_owned_locked(s, session, "dropped");
+  if (trace_->enabled())
+    trace_->instant("quarantine", session, -1);
+  // The post-mortem is cut before the owned frames are cleared so their
+  // final events are part of the dump.
+  flight_record_locked(s, session, what);
   // Everything this session still owns is discarded: queued frames, slot
   // deposits, and the timestamps tracking them. Frames currently inside a
   // stage of another worker are discarded by that worker on return.
@@ -421,8 +627,13 @@ void StreamServer::reset_session_locked(Session& s) {
   s.quarantined = false;
   s.retired = false;
   s.last_fault.clear();
+  s.queue_wait_ms = 0.0;
+  s.engine_wait_start_ms = -1.0;
   s.frames_counter->reset();
   s.latency_hist->reset();
+  s.latency_window->reset();
+  s.fps_window->reset();
+  s.queue_depth_gauge->set(0.0);
   s.rejected_counter->reset();
   s.shed_counter->reset();
   s.degraded_counter->reset();

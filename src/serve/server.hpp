@@ -36,6 +36,10 @@
 /// Telemetry (see docs/observability.md):
 ///   serve.session.<name>.frames      counter, frames delivered
 ///   serve.session.<name>.latency_ms  histogram, submit -> delivery
+///   serve.session.<name>.latency_ms.window  last-10s sliding histogram
+///   serve.session.<name>.fps.window  gauge, deliveries/s over last 10 s
+///   serve.session.<name>.queue_depth gauge, Little's-law mean admission-
+///                                    queue depth (Σ queue-wait / elapsed)
 ///   serve.session.<name>.rejected    counter, kOverloaded submissions
 ///   serve.session.<name>.shed        counter, frames shed by kShedOldest
 ///   serve.session.<name>.degraded    counter, degrade-hook invocations
@@ -44,6 +48,15 @@
 ///   serve.session.<name>.faults      counter, stage/deliver exceptions
 ///   serve.session.<name>.quarantined gauge, 1 once quarantined
 ///   serve.arbiter.grants / .queue_depth / .batch_size (EngineArbiter)
+///
+/// Tracing (docs/observability.md "Tracing"): when ServerOptions::trace
+/// is enabled, every frame leaves an async "frame" span (submit ->
+/// delivery/drop), an async "queue" span (admission dwell), per-stage
+/// "stage:<name>" spans, "arbiter.wait" spans, and "gang" seat instants.
+/// When a session is quarantined and flight_recorder_dir is set, the
+/// last flight_recorder_events trace events touching that session plus
+/// the fault message are dumped to
+/// `<flight_recorder_dir>/flight_<name>.json` (Perfetto-loadable).
 
 #include <chrono>
 #include <condition_variable>
@@ -60,6 +73,7 @@
 
 #include "serve/arbiter.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "video/frame.hpp"
 
 namespace tincy::serve {
@@ -113,7 +127,11 @@ struct ServeStage {
 /// share no mutable state), in-order result delivery, an arbiter weight,
 /// a priority tier and an admission-queue bound.
 struct SessionConfig {
-  std::string name;  ///< metric label; defaults to "s<index>" when empty
+  /// Metric label; defaults to "s<index>" when empty. Normalized at
+  /// open_session: characters outside [A-Za-z0-9._-] become '_' so the
+  /// name is safe as a metric-name component and a flight-recorder file
+  /// name; names longer than 100 characters are rejected.
+  std::string name;
   std::vector<ServeStage> stages;
   /// In-order delivery hook; invoked from worker threads, never
   /// concurrently for the same session.
@@ -139,6 +157,15 @@ struct ServerOptions {
   ArbiterOptions arbiter;
   /// Registry for serve.* metrics; null selects the process-wide default.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Trace sink for per-frame events; null selects
+  /// telemetry::TraceCollector::global(). Emission only happens while the
+  /// collector is enabled (one relaxed load per site otherwise).
+  telemetry::TraceCollector* trace = nullptr;
+  /// When non-empty, a quarantine dumps the session's trace tail + fault
+  /// message to `<dir>/flight_<name>.json` (directory created on demand).
+  std::string flight_recorder_dir;
+  /// Cap on trace events per flight-recorder dump (>= 1).
+  int64_t flight_recorder_events = 256;
 };
 
 class StreamServer {
@@ -220,8 +247,19 @@ class StreamServer {
     /// removed from the arbiter, so dead churned sessions cost one branch.
     bool retired = false;
     std::string last_fault;
+    /// Σ admission-queue dwell ms of claimed frames; queue_depth_gauge
+    /// publishes this over elapsed time (Little's law).
+    double queue_wait_ms = 0.0;
+    /// Trace epoch (collector ms) of the first denied engine claim of the
+    /// current wait, −1 while not waiting; closes an "arbiter.wait" span.
+    double engine_wait_start_ms = -1.0;
+    /// Pre-built "stage:<name>" span labels, one per stage.
+    std::vector<std::string> stage_trace_names;
     telemetry::Counter* frames_counter;
     telemetry::Histogram* latency_hist;
+    telemetry::WindowedHistogram* latency_window;
+    telemetry::WindowedRate* fps_window;
+    telemetry::Gauge* queue_depth_gauge;
     telemetry::Counter* rejected_counter;
     telemetry::Counter* shed_counter;
     telemetry::Counter* degraded_counter;
@@ -259,9 +297,21 @@ class StreamServer {
   /// the arbiter.
   void maybe_retire_locked(int64_t session);
   void reset_session_locked(Session& s);
+  /// Emits async-end events for every frame the session still owns
+  /// (queued + slot deposits) with the given outcome. Trace-gated.
+  void trace_drop_owned_locked(const Session& s, int64_t session,
+                               const char* outcome);
+  /// Closes a pending "arbiter.wait" span when an engine claim that was
+  /// previously denied finally succeeds. Trace-gated.
+  void trace_engine_granted_locked(Session& s, int64_t session,
+                                   int64_t layer);
+  /// Writes the flight-recorder post-mortem for a quarantined session.
+  void flight_record_locked(const Session& s, int64_t session,
+                            const std::string& what);
 
   ServerOptions options_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::TraceCollector* trace_;
   EngineArbiter arbiter_;
 
   mutable std::mutex mutex_;
@@ -269,6 +319,9 @@ class StreamServer {
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::thread> workers_;
   size_t rr_next_ = 0;  ///< next session the job scan starts from
+  int64_t grant_seq_ = 0;  ///< trace-visible engine grant ids
+  int64_t wait_seq_ = 0;   ///< async ids for arbiter.wait trace spans
+  std::chrono::steady_clock::time_point start_time_{};
   bool running_ = false;
   bool stopping_ = false;
 };

@@ -20,6 +20,9 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -170,6 +173,9 @@ class Parser {
           case '\\': c = '\\'; break;
           case 'n': c = '\n'; break;
           case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
           case 'u': {
             if (pos_ + 4 > text_.size()) fail("short \\u escape");
             c = static_cast<char>(

@@ -107,6 +107,65 @@ class Histogram {
   int64_t buckets_[kNumBuckets] = {};
 };
 
+/// Shape of a sliding window: `window` of history kept as `slices`
+/// rotating sub-buckets (finer slices decay more smoothly).
+struct WindowOptions {
+  std::chrono::milliseconds window{10000};
+  int slices = 10;
+};
+
+/// Histogram over only the last `window` of wall-clock time: the live
+/// tail behind `*.window` metrics (last-10s p99 etc.). Same log-scaled
+/// buckets and stats surface as Histogram; samples expire as their slice
+/// rotates out. The `*_at` overloads take an explicit steady-clock time
+/// so decay is testable against a scripted clock. Thread-safe.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(WindowOptions opts = {});
+  ~WindowedHistogram();  // out-of-line: Slice is incomplete here
+
+  void record(double value);
+  void record_at(double value, std::chrono::steady_clock::time_point now);
+  HistogramStats stats() const;
+  HistogramStats stats_at(std::chrono::steady_clock::time_point now) const;
+  void reset();
+
+ private:
+  struct Slice;
+  int64_t slice_of(std::chrono::steady_clock::time_point now) const;
+  HistogramStats stats_locked(int64_t current_slice) const;
+
+  mutable std::mutex mutex_;
+  WindowOptions opts_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Slice> slices_;
+};
+
+/// Events-per-second over only the last `window` (the live fps gauge).
+/// Thread-safe; `*_at` overloads exist for scripted-clock tests.
+class WindowedRate {
+ public:
+  explicit WindowedRate(WindowOptions opts = {});
+
+  void add(int64_t n = 1);
+  void add_at(int64_t n, std::chrono::steady_clock::time_point now);
+  double per_second() const;
+  double per_second_at(std::chrono::steady_clock::time_point now) const;
+  void reset();
+
+ private:
+  struct Slice {
+    int64_t tag = -1;  ///< absolute slice index, -1 when empty
+    int64_t count = 0;
+  };
+  int64_t slice_of(std::chrono::steady_clock::time_point now) const;
+
+  mutable std::mutex mutex_;
+  WindowOptions opts_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Slice> slices_;
+};
+
 /// Point-in-time sample of one named metric.
 struct CounterSample {
   std::string name;
@@ -152,6 +211,14 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Windowed variants (conventionally named `<base>.window`). They show
+  /// up in snapshot() as an ordinary histogram sample / gauge (rate in
+  /// events-per-second), so exports and check tools need no new schema.
+  WindowedHistogram& windowed_histogram(const std::string& name,
+                                        WindowOptions opts = {});
+  WindowedRate& windowed_rate(const std::string& name,
+                              WindowOptions opts = {});
+
   /// Consistent sample of every metric (optionally restricted to names
   /// starting with `prefix`), sorted by name.
   Snapshot snapshot(std::string_view prefix = {}) const;
@@ -169,6 +236,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_hists_;
+  std::map<std::string, std::unique_ptr<WindowedRate>> windowed_rates_;
 };
 
 /// RAII span: records the elapsed wall-clock milliseconds into a

@@ -10,7 +10,9 @@
 //
 // With --slo it gates a soak run (`multistream --soak --metrics-json`):
 // every session latency histogram must carry a p99 estimate within the
-// bound (default 150 ms, override with --p99-ms X), and the quarantine
+// bound (default 150 ms, override with --p99-ms X) — both the
+// cumulative histogram and, when it holds samples, the sliding-window
+// one (`.latency_ms.window`, the live tail) — and the quarantine
 // surface must be consistent — a session is quarantined iff it recorded
 // faults. The offending session's telemetry summary is printed on a
 // violation.
@@ -24,18 +26,32 @@
 // (batch_size − 1) × weight_dma per coalesced pass, so saved is a
 // positive multiple of amortized exactly when any batching happened.
 //
-// Usage: tincy_check_metrics <metrics.json>
+// With --trace <file> it additionally validates a Chrome trace written
+// by `tincy --trace` (or the flight recorder): complete spans on one
+// track must nest, async frame/queue begin/end events must pair up, the
+// layer spans attributed to a frame must fit inside that frame's
+// submit→delivery span, and the gang instants must be internally
+// consistent (one leader per grant, leader batch == seats) and agree
+// with the serve.arbiter.* metrics in the metrics document.
+//
+// Usage: tincy_check_metrics <metrics.json> [--trace <trace.json>]
 //          [--frames N | --serve-frames N | --slo [--p99-ms X] |
 //           --batching] [--gemm]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/errors.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace tincy;
 
@@ -55,7 +71,10 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: tincy_check_metrics <metrics.json> [--frames N]\n");
+    std::fprintf(stderr,
+                 "usage: tincy_check_metrics <metrics.json> "
+                 "[--trace <trace.json>] [--frames N | --serve-frames N | "
+                 "--slo [--p99-ms X] | --batching] [--gemm]\n");
     return 2;
   }
   int64_t expect_frames = -1;
@@ -64,6 +83,7 @@ int main(int argc, char** argv) {
   bool check_slo = false;
   bool check_batching = false;
   double slo_p99_ms = 150.0;
+  std::string trace_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       expect_frames = std::atoll(argv[i + 1]);
@@ -74,6 +94,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--batching") == 0) check_batching = true;
     if (std::strcmp(argv[i], "--p99-ms") == 0 && i + 1 < argc)
       slo_p99_ms = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[i + 1];
   }
 
   std::ifstream f(argv[1]);
@@ -104,6 +126,164 @@ int main(int argc, char** argv) {
       if (s.p99 > s.max + 1e-9) return fail(h.name + ": p99 > max");
       if (s.sum + 1e-9 < s.max) return fail(h.name + ": sum < max");
     }
+  }
+
+  // Trace mode: structural validation of a Chrome trace-event document,
+  // cross-checked against the metrics snapshot from the same run.
+  if (!trace_path.empty()) {
+    std::ifstream tf(trace_path);
+    if (!tf.good()) return fail("cannot open " + trace_path);
+    std::ostringstream tbuf;
+    tbuf << tf.rdbuf();
+    std::vector<telemetry::TraceEvent> events;
+    try {
+      events = telemetry::parse_chrome_trace(tbuf.str());
+    } catch (const Error& e) {
+      return fail(e.what());
+    }
+    if (events.empty()) return fail("trace has no events");
+    std::stable_sort(events.begin(), events.end(),
+                     [](const telemetry::TraceEvent& a,
+                        const telemetry::TraceEvent& b) {
+                       return a.ts_ms != b.ts_ms ? a.ts_ms < b.ts_ms
+                                                 : a.dur_ms > b.dur_ms;
+                     });
+    // Export rounds timestamps to 1e-6 ms; containment below is checked
+    // against a slightly coarser epsilon.
+    constexpr double kEps = 1e-3;
+
+    // Complete spans on one track come from one thread, so they must
+    // obey stack discipline: a span overlapping an open span must end
+    // within it.
+    std::map<int32_t, std::vector<double>> open_ends;
+    int64_t x_spans = 0;
+    for (const auto& e : events) {
+      if (e.phase != telemetry::TracePhase::kComplete) continue;
+      ++x_spans;
+      if (e.dur_ms < -kEps)
+        return fail(std::string(e.name_view()) + ": negative span duration");
+      auto& stack = open_ends[e.tid];
+      while (!stack.empty() && stack.back() <= e.ts_ms + kEps)
+        stack.pop_back();
+      const double end = e.ts_ms + e.dur_ms;
+      if (!stack.empty() && end > stack.back() + kEps)
+        return fail(std::string(e.name_view()) + " @" +
+                    std::to_string(e.ts_ms) +
+                    " ms: overlaps the enclosing span without nesting");
+      stack.push_back(end);
+    }
+
+    // Async begin/end events pair up per (name, session, frame); the
+    // layer spans each frame will be checked against are summed on the
+    // side.
+    struct AsyncSpan {
+      int begins = 0, ends = 0;
+      double begin = 0.0, end = 0.0;
+      std::string outcome;
+    };
+    std::map<std::tuple<std::string, int64_t, int64_t>, AsyncSpan> asyncs;
+    std::map<std::pair<int64_t, int64_t>, double> frame_layer_ms;
+    for (const auto& e : events) {
+      if (e.phase == telemetry::TracePhase::kComplete) {
+        const auto name = e.name_view();
+        if (name.rfind("net.layer.", 0) == 0 ||
+            name.rfind("fabric.layer", 0) == 0)
+          frame_layer_ms[{e.session, e.frame}] += e.dur_ms;
+        continue;
+      }
+      if (e.phase == telemetry::TracePhase::kInstant) continue;
+      auto& a = asyncs[{std::string(e.name_view()), e.session, e.frame}];
+      if (e.phase == telemetry::TracePhase::kAsyncBegin) {
+        ++a.begins;
+        a.begin = e.ts_ms;
+      } else {
+        ++a.ends;
+        a.end = e.ts_ms;
+        a.outcome = telemetry::trace_arg_str(e, "outcome");
+      }
+    }
+    int64_t frames_traced = 0, frames_delivered = 0;
+    for (const auto& [key, a] : asyncs) {
+      const auto& [name, session, frame] = key;
+      const std::string where = name + " s" + std::to_string(session) +
+                                ".f" + std::to_string(frame);
+      if (a.begins != 1 || a.ends != 1)
+        return fail(where + ": " + std::to_string(a.begins) + " begin(s), " +
+                    std::to_string(a.ends) + " end(s)");
+      if (a.end + kEps < a.begin) return fail(where + ": ends before begin");
+      if (name != "frame") continue;
+      ++frames_traced;
+      if (a.outcome.empty())
+        return fail(where + ": frame end carries no outcome");
+      if (a.outcome == "delivered") ++frames_delivered;
+      // The layer work attributed to a frame must fit inside its
+      // submit -> delivery window (gang ride-alongs simply have none).
+      const auto it = frame_layer_ms.find({session, frame});
+      if (it != frame_layer_ms.end() &&
+          it->second > (a.end - a.begin) + 0.01 + kEps)
+        return fail(where + ": layer spans sum to " +
+                    std::to_string(it->second) + " ms, frame span is " +
+                    std::to_string(a.end - a.begin) + " ms");
+    }
+    if (frames_traced == 0) return fail("trace has no frame async spans");
+
+    // Gang instants: every grant has exactly one leader whose batch size
+    // counts all seats, and the grant population agrees with the
+    // serve.arbiter.* metrics of the same run.
+    struct Gang {
+      int leaders = 0, members = 0;
+      int64_t batch = -1;
+    };
+    std::map<int64_t, Gang> gangs;
+    for (const auto& e : events) {
+      if (e.phase != telemetry::TracePhase::kInstant ||
+          e.name_view() != "gang")
+        continue;
+      const int64_t grant = telemetry::trace_arg_int(e, "grant");
+      if (grant < 0) return fail("gang instant without a grant id");
+      auto& g = gangs[grant];
+      if (telemetry::trace_arg_str(e, "role") == "leader") {
+        ++g.leaders;
+        g.batch = telemetry::trace_arg_int(e, "batch");
+      } else {
+        ++g.members;
+      }
+    }
+    int64_t batch_sum = 0;
+    for (const auto& [grant, g] : gangs) {
+      const std::string where = "gang grant " + std::to_string(grant);
+      if (g.leaders != 1)
+        return fail(where + ": " + std::to_string(g.leaders) + " leader(s)");
+      if (g.batch != 1 + g.members)
+        return fail(where + ": leader batch " + std::to_string(g.batch) +
+                    " != " + std::to_string(1 + g.members) + " seats");
+      batch_sum += g.batch;
+    }
+    const auto num_grants = static_cast<int64_t>(gangs.size());
+    if (snapshot.find_counter("serve.arbiter.grants")) {
+      const int64_t grants = snapshot.counter_value("serve.arbiter.grants");
+      if (grants != num_grants)
+        return fail("trace has " + std::to_string(num_grants) +
+                    " gang grants, serve.arbiter.grants is " +
+                    std::to_string(grants));
+      const auto* bs = snapshot.find_histogram("serve.arbiter.batch_size");
+      if (bs && static_cast<int64_t>(bs->stats.sum + 0.5) != batch_sum)
+        return fail("trace gang seats sum to " + std::to_string(batch_sum) +
+                    ", serve.arbiter.batch_size sums to " +
+                    std::to_string(
+                        static_cast<int64_t>(bs->stats.sum + 0.5)));
+    }
+
+    std::printf("trace OK: %zu events, %lld complete spans, %lld frames "
+                "(%lld delivered), %lld gang grants\n",
+                events.size(), static_cast<long long>(x_spans),
+                static_cast<long long>(frames_traced),
+                static_cast<long long>(frames_delivered),
+                static_cast<long long>(num_grants));
+    // --trace composes with the other modes; alone, it is the check.
+    if (expect_frames < 0 && expect_serve_frames < 0 && !check_slo &&
+        !check_batching && !expect_gemm)
+      return 0;
   }
 
   // Batching mode: validate the gang-scheduling telemetry surface.
@@ -187,6 +367,19 @@ int main(int argc, char** argv) {
                       " ms");
         }
       }
+      // The sliding-window histogram gates *live* tail latency: a soak
+      // whose cumulative p99 is healthy can still be violating the SLO
+      // right now. Gated only when the window saw samples (it decays to
+      // empty on an idle session).
+      const auto* win = snapshot.find_histogram(base + ".latency_ms.window");
+      if (!win) return fail(base + ".latency_ms.window missing");
+      if (win->stats.count > 0) {
+        if (win->stats.p99 > slo_p99_ms)
+          return fail(base + ".latency_ms.window: live p99 " +
+                      std::to_string(win->stats.p99) + " ms exceeds SLO " +
+                      std::to_string(slo_p99_ms) + " ms");
+        worst_p99 = win->stats.p99 > worst_p99 ? win->stats.p99 : worst_p99;
+      }
       // A session is quarantined iff it recorded faults; shed/dropped
       // counters must exist so the accounting surface is complete.
       const auto* q = snapshot.find_gauge(base + ".quarantined");
@@ -230,6 +423,9 @@ int main(int argc, char** argv) {
                     std::to_string(c.value));
       if (!snapshot.find_counter(base + ".rejected"))
         return fail(base + ".rejected missing");
+      // Little's-law mean admission-queue depth (gauge, may be 0).
+      if (!snapshot.find_gauge(base + ".queue_depth"))
+        return fail(base + ".queue_depth missing");
     }
     if (sessions == 0) return fail("no serve.session.*.frames counters");
     if (frames_sum != expect_serve_frames)

@@ -16,6 +16,8 @@
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the telemetry snapshot as JSON on exit
 //   --metrics-summary       print the telemetry summary table to stderr
+//   --trace <path>          enable tracing and write a Chrome trace-event
+//                           JSON on exit (load in Perfetto / chrome://tracing)
 //
 // cfg arguments accept either a file path or one of the zoo shorthands
 // `zoo:tiny`, `zoo:tincy`, `zoo:tincy-w1a3`, `zoo:mlp4`, `zoo:cnv6`.
@@ -31,6 +33,7 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #include "core/rng.hpp"
 #include "core/string_utils.hpp"
@@ -290,9 +293,26 @@ int usage() {
       "  tincy serve-sim [streams] [frames] [workers]\n"
       "  tincy export-binparam <cfg|zoo:...> <weights|-> <dir>\n"
       "  tincy ladder\n"
-      "global flags: --metrics-json <path>  --metrics-summary\n"
+      "global flags: --metrics-json <path>  --metrics-summary  "
+      "--trace <path>\n"
       "zoo shorthands: zoo:tiny zoo:tincy zoo:tincy-w1a3 zoo:mlp4 zoo:cnv6\n");
   return 2;
+}
+
+/// Emits the collected trace as requested by --trace; runs after the
+/// subcommand so every recorded span is included.
+int emit_trace(const std::string& trace_path, int rc) {
+  if (trace_path.empty()) return rc;
+  try {
+    const auto events = telemetry::TraceCollector::global().snapshot();
+    telemetry::write_chrome_trace(events, trace_path);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n", events.size(),
+                 trace_path.c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return rc == 0 ? 1 : rc;
+  }
+  return rc;
 }
 
 /// Emits the collected telemetry as requested by the global flags; runs
@@ -320,6 +340,7 @@ int main(int argc, char** argv) {
   // Strip the global telemetry flags so subcommands see only their own
   // positional arguments.
   std::string metrics_json;
+  std::string trace_json;
   bool metrics_summary = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -329,6 +350,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace requires a <path>\n");
+        return 2;
+      }
+      trace_json = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
       metrics_summary = true;
     } else {
@@ -336,6 +363,8 @@ int main(int argc, char** argv) {
     }
   }
   const int nargs = static_cast<int>(args.size());
+  if (!trace_json.empty())
+    telemetry::TraceCollector::global().set_enabled(true);
 
   if (nargs < 2) return usage();
   const std::string cmd = args[1];
@@ -350,7 +379,10 @@ int main(int argc, char** argv) {
     else if (cmd == "export-binparam")
       rc = cmd_export_binparam(nargs - 2, args.data() + 2);
     else if (cmd == "ladder") rc = cmd_ladder();
-    if (rc >= 0) return emit_metrics(metrics_json, metrics_summary, rc);
+    if (rc >= 0) {
+      rc = emit_trace(trace_json, rc);
+      return emit_metrics(metrics_json, metrics_summary, rc);
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
