@@ -252,6 +252,11 @@ struct GateShape {
 
 template <typename F>
 double best_of_ms(int trials, F&& fn) {
+  // One untimed warmup run: the first packed call per shape faults in the
+  // panel scratch arenas and the LHS panel cache, a one-off cost that
+  // used to land on whichever variant happened to be timed first and
+  // skew the cross-variant comparison.
+  fn();
   double best = 1e300;
   for (int t = 0; t < trials; ++t) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -275,14 +280,23 @@ int run_gate(const char* json_path) {
   const int kTrials = 5;
   const double kMinThreadedSpeedup = 3.0;
   const double kMinSingleThreadSpeedup = 1.5;
+  // Micro-kernel floor: the kAuto-dispatched SIMD variant must beat the
+  // scalar packed path (same packing, same tiling, vectorization off) by
+  // this much on every gate shape — and kAuto must actually have picked
+  // a SIMD variant.
+  const double kMinKernelSpeedup = 1.5;
   const int threads = core::ThreadPool::shared().threads();
+  const gemm::Kernel dispatched = gemm::resolve_kernel(gemm::Kernel::kAuto);
 
   bool pass = true;
   std::ostringstream js;
-  js << "{\n  \"schema\": \"tincy-bench-gemm-v1\",\n"
+  js << "{\n  \"schema\": \"tincy-bench-gemm-v2\",\n"
      << "  \"threads\": " << threads << ",\n"
+     << "  \"dispatched_kernel\": \"" << gemm::kernel_name(dispatched)
+     << "\",\n"
      << "  \"min_speedup_threaded\": " << kMinThreadedSpeedup << ",\n"
      << "  \"min_speedup_single_thread\": " << kMinSingleThreadSpeedup
+     << ",\n  \"min_speedup_kernel\": " << kMinKernelSpeedup
      << ",\n  \"shapes\": [";
 
   bool first_shape = true;
@@ -327,10 +341,42 @@ int run_gate(const char* json_path) {
       gemm::gemm_lowp_packed(lhs, B.data(), zb, s.N, got.data(), {});
     });
 
+    // Per-micro-kernel-variant rows: cached LHS, threads off, identical
+    // packing — the only difference between rows is the micro-kernel, so
+    // scalar vs kAuto isolates the SIMD win the tentpole claims.
+    struct KernelRow {
+      gemm::Kernel k;
+      double ms = 0.0;
+      bool parity = false;
+    };
+    gemm::gemm_lowp_i32(s.M, s.N, s.K, A.data(), za, B.data(), zb, ref.data());
+    std::vector<KernelRow> krows;
+    double scalar_ms = 0.0, auto_ms = 0.0;
+    bool kernel_parity = true;
+    for (const gemm::Kernel k : gemm::dispatchable_kernels()) {
+      gemm::GemmOptions ko;
+      ko.allow_threads = false;
+      ko.kernel = k;
+      std::fill(got.begin(), got.end(), 0);
+      gemm::gemm_lowp_packed(lhs, B.data(), zb, s.N, got.data(), ko);
+      const bool kp = ref == got;
+      kernel_parity = kernel_parity && kp;
+      const double ms = best_of_ms(kTrials, [&] {
+        gemm::gemm_lowp_packed(lhs, B.data(), zb, s.N, got.data(), ko);
+      });
+      if (k == gemm::Kernel::kScalar) scalar_ms = ms;
+      if (k == dispatched) auto_ms = ms;
+      krows.push_back({k, ms, kp});
+    }
+    const double speedup_kernel = auto_ms > 0.0 ? scalar_ms / auto_ms : 0.0;
+    const bool kernels_ok = kernel_parity &&
+                            dispatched != gemm::Kernel::kScalar &&
+                            speedup_kernel >= kMinKernelSpeedup;
+
     const double mflop = 2.0 * s.M * s.N * s.K / 1e6;
     const double speedup_st = naive_ms / packed_st_ms;
     const double speedup_threaded = naive_ms / threaded_ms;
-    const bool shape_ok = parity_i32 && parity_shift4 &&
+    const bool shape_ok = parity_i32 && parity_shift4 && kernels_ok &&
                           speedup_st >= kMinSingleThreadSpeedup &&
                           speedup_threaded >= kMinThreadedSpeedup;
     pass = pass && shape_ok;
@@ -347,6 +393,17 @@ int run_gate(const char* json_path) {
         packed_st_ms, mflop / packed_st_ms * 1e3, speedup_st,
         kMinSingleThreadSpeedup, threaded_ms, mflop / threaded_ms * 1e3,
         speedup_threaded, kMinThreadedSpeedup, shape_ok ? "PASS" : "FAIL");
+    for (const KernelRow& r : krows) {
+      std::printf(
+          "          kernel %-7s %8.3f ms (%7.0f MFLOP/s)  %.2fx vs scalar"
+          "  parity=%s%s\n",
+          gemm::kernel_name(r.k), r.ms, mflop / r.ms * 1e3, scalar_ms / r.ms,
+          r.parity ? "ok" : "FAIL",
+          r.k == dispatched ? "  <- kAuto" : "");
+    }
+    std::printf("          kernel gate %.2fx (floor %.1fx, dispatched=%s)\n",
+                speedup_kernel, kMinKernelSpeedup,
+                gemm::kernel_name(dispatched));
 
     js << (first_shape ? "" : ",") << "\n    {\"name\": \"" << s.name
        << "\", \"M\": " << s.M << ", \"N\": " << s.N << ", \"K\": " << s.K
@@ -360,7 +417,16 @@ int run_gate(const char* json_path) {
        << ", \"speedup_threaded\": " << speedup_threaded
        << ", \"parity_i32\": " << (parity_i32 ? "true" : "false")
        << ", \"parity_shift4\": " << (parity_shift4 ? "true" : "false")
-       << ", \"pass\": " << (shape_ok ? "true" : "false") << "}";
+       << ",\n     \"dispatched_kernel\": \"" << gemm::kernel_name(dispatched)
+       << "\", \"speedup_kernel\": " << speedup_kernel
+       << ",\n     \"kernels\": [";
+    for (size_t i = 0; i < krows.size(); ++i) {
+      js << (i ? ", " : "") << "{\"name\": \"" << gemm::kernel_name(krows[i].k)
+         << "\", \"ms\": " << krows[i].ms
+         << ", \"mflops\": " << mflop / krows[i].ms * 1e3
+         << ", \"parity\": " << (krows[i].parity ? "true" : "false") << "}";
+    }
+    js << "],\n     \"pass\": " << (shape_ok ? "true" : "false") << "}";
     first_shape = false;
   }
   js << "\n  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";

@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "gemm/first_layer.hpp"
+#include "gemm/kernels.hpp"
 #include "gemm/scratch.hpp"
-#include "simd/vec.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -14,82 +14,17 @@ namespace {
 
 int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
-/// 4×16 i32 micro-kernel over one packed LHS panel and one RHS panel.
-/// Inner loop is the zero-point decomposition's raw unsigned dot: each
-/// packed LHS byte is broadcast and widening-MAC'd across the 16-lane RHS
-/// row (VDUP.8 + VMULL.U8 + VADDW.U16). Offsets are corrected on
-/// write-back, so no subtraction pollutes the hot loop.
-void micro_kernel_i32(const uint8_t* __restrict a, const uint8_t* __restrict b,
-                      int64_t K, uint32_t* __restrict tile) {
-  using namespace simd;
-  U32x16 acc0{}, acc1{}, acc2{}, acc3{};
-  int64_t k = 0;
-  for (; k + 4 <= K; k += 4) {
-    for (int64_t u = 0; u < 4; ++u) {
-      const U8x16 bv = U8x16::load(b + (k + u) * kNr);
-      const uint8_t* ak = a + (k + u) * kMr;
-      acc0 = widening_mla(acc0, bv, ak[0]);
-      acc1 = widening_mla(acc1, bv, ak[1]);
-      acc2 = widening_mla(acc2, bv, ak[2]);
-      acc3 = widening_mla(acc3, bv, ak[3]);
-    }
-  }
-  for (; k < K; ++k) {
-    const U8x16 bv = U8x16::load(b + k * kNr);
-    const uint8_t* ak = a + k * kMr;
-    acc0 = widening_mla(acc0, bv, ak[0]);
-    acc1 = widening_mla(acc1, bv, ak[1]);
-    acc2 = widening_mla(acc2, bv, ak[2]);
-    acc3 = widening_mla(acc3, bv, ak[3]);
-  }
-  acc0.store(tile);
-  acc1.store(tile + kNr);
-  acc2.store(tile + 2 * kNr);
-  acc3.store(tile + 3 * kNr);
-}
-
-/// Widens one packed RHS row to centered i16 lanes (VMOVL.U8 + VSUB).
-simd::I16x16 widen_center(const uint8_t* p, simd::I16x16 zero) {
-  simd::I16x16 v;
-  for (int i = 0; i < 16; ++i) v.lane[i] = static_cast<int16_t>(p[i]);
-  return sub(v, zero);
-}
-
-/// 4×16 micro-kernel of the paper's 16-bit accumulator path: every
-/// centered product is rounding-right-shifted by 4 (VRSHR) and added with
-/// saturation (VQADD); the tile is rescaled by 16 on store. Bit-identical
-/// to gemm_lowp_i32_shift4 by construction.
-void micro_kernel_i16shift4(const uint8_t* __restrict a,
-                            const uint8_t* __restrict b, int64_t K,
-                            int32_t lhs_zero, int32_t rhs_zero,
-                            int32_t* __restrict tile) {
-  using namespace simd;
-  I16x16 acc0{}, acc1{}, acc2{}, acc3{};
-  const I16x16 vzb = I16x16::splat(static_cast<int16_t>(rhs_zero));
-  for (int64_t k = 0; k < K; ++k) {
-    const I16x16 bv = widen_center(b + k * kNr, vzb);
-    const uint8_t* ak = a + k * kMr;
-    const auto step = [&](I16x16 acc, uint8_t code) {
-      const I16x16 av = I16x16::splat(
-          static_cast<int16_t>(static_cast<int32_t>(code) - lhs_zero));
-      return saturating_add(acc, rounding_shift_right(mul(av, bv), 4));
-    };
-    acc0 = step(acc0, ak[0]);
-    acc1 = step(acc1, ak[1]);
-    acc2 = step(acc2, ak[2]);
-    acc3 = step(acc3, ak[3]);
-  }
-  const I16x16* accs[kMr] = {&acc0, &acc1, &acc2, &acc3};
-  for (int64_t r = 0; r < kMr; ++r)
-    for (int64_t j = 0; j < kNr; ++j)
-      tile[r * kNr + j] = static_cast<int32_t>(accs[r]->lane[j]) * 16;
-}
-
 }  // namespace
+
+// The micro-kernels themselves live in gemm/kernels.cpp (scalar baseline,
+// portable lane model) and gemm/kernels_avx2.cpp, behind the MicroKernels
+// dispatch table; the drivers below resolve the variant once per call.
 
 void gemm_lowp_packed_panel(const PackedLhsView& lhs, const uint8_t* panel,
                    const int32_t* col_sums, int64_t j0, int64_t width,
-                   int64_t N, int32_t rhs_zero, Accumulator acc, int32_t* C) {
+                   int64_t N, int32_t rhs_zero, Accumulator acc, int32_t* C,
+                   Kernel kernel) {
+  const MicroKernels& mk = micro_kernels(resolve_kernel(kernel));
   const int64_t M = lhs.rows, K = lhs.depth;
   const int64_t kzz = K * static_cast<int64_t>(lhs.zero_point) * rhs_zero;
   int32_t tile[kMr * kNr];
@@ -97,12 +32,12 @@ void gemm_lowp_packed_panel(const PackedLhsView& lhs, const uint8_t* panel,
     const uint8_t* a = lhs.data + (i0 / kMr) * K * kMr;
     const int64_t rows = std::min<int64_t>(kMr, M - i0);
     if (acc == Accumulator::kI16Shift4) {
-      micro_kernel_i16shift4(a, panel, K, lhs.zero_point, rhs_zero, tile);
+      mk.i16shift4(a, panel, K, lhs.zero_point, rhs_zero, tile);
       for (int64_t r = 0; r < rows; ++r)
         for (int64_t j = 0; j < width; ++j)
           C[(i0 + r) * N + j0 + j] = tile[r * kNr + j];
     } else {
-      micro_kernel_i32(a, panel, K, reinterpret_cast<uint32_t*>(tile));
+      mk.i32(a, panel, K, reinterpret_cast<uint32_t*>(tile));
       for (int64_t r = 0; r < rows; ++r) {
         const int64_t row_term =
             static_cast<int64_t>(rhs_zero) * lhs.row_sums[i0 + r];
@@ -129,6 +64,7 @@ struct PanelShardCtx {
   int64_t N;
   int32_t* C;
   Accumulator acc;
+  Kernel kernel;
 };
 
 void run_panel_shard(int64_t lo, int64_t hi, void* p) {
@@ -143,29 +79,8 @@ void run_panel_shard(int64_t lo, int64_t hi, void* p) {
     int32_t col_sums[kNr];
     pack_rhs_panel(ctx.B, K, ctx.N, j0, width, ctx.rhs_zero, panel, col_sums);
     gemm_lowp_packed_panel(ctx.lhs, panel, col_sums, j0, width, ctx.N,
-                           ctx.rhs_zero, ctx.acc, ctx.C);
+                           ctx.rhs_zero, ctx.acc, ctx.C, ctx.kernel);
   }
-}
-
-/// GEMV micro-kernel (N == 1): the packed panel is a flat u8 run of
-/// K·kMr bytes (k-major, 4 interleaved rows); `bexp` holds the RHS column
-/// replicated 4× (bexp[k·kMr + r] = b[k]) so the whole block reduces to
-/// one 16-lane flat dot product. Lane l of the accumulator gathers the
-/// products of row l % kMr, folded on write-back.
-void micro_kernel_gemv(const uint8_t* __restrict a,
-                       const uint8_t* __restrict bexp, int64_t len,
-                       int64_t* __restrict raw /* kMr */) {
-  using namespace simd;
-  U32x16 acc{};
-  int64_t l = 0;
-  for (; l + 16 <= len; l += 16)
-    acc = add(acc, widening_mul_u16_to_u32(U8x16::load(a + l),
-                                           U8x16::load(bexp + l)));
-  for (int64_t r = 0; r < kMr; ++r) raw[r] = 0;
-  for (int i = 0; i < 16; ++i)
-    raw[i % kMr] += static_cast<int64_t>(acc.lane[i]);
-  for (; l < len; ++l)
-    raw[l % kMr] += static_cast<int64_t>(a[l]) * bexp[l];
 }
 
 /// parallel_for context of the N == 1 fast path: row blocks over the
@@ -176,6 +91,7 @@ struct GemvShardCtx {
   int32_t col_sum;
   int32_t rhs_zero;
   int32_t* C;
+  const MicroKernels* mk;
 };
 
 void run_gemv_shard(int64_t lo, int64_t hi, void* p) {
@@ -185,7 +101,7 @@ void run_gemv_shard(int64_t lo, int64_t hi, void* p) {
                       ctx.rhs_zero;
   for (int64_t blk = lo; blk < hi; ++blk) {
     int64_t raw[kMr];
-    micro_kernel_gemv(ctx.lhs.data + blk * K * kMr, ctx.bexp, K * kMr, raw);
+    ctx.mk->gemv(ctx.lhs.data + blk * K * kMr, ctx.bexp, K * kMr, raw);
     const int64_t rows = std::min<int64_t>(kMr, M - blk * kMr);
     for (int64_t r = 0; r < rows; ++r) {
       const int64_t i = blk * kMr + r;
@@ -207,6 +123,7 @@ struct RowShardCtx {
   int32_t rhs_zero;
   int32_t* C;
   Accumulator acc;
+  Kernel kernel;
 };
 
 void run_row_shard(int64_t lo, int64_t hi, void* p) {
@@ -218,7 +135,8 @@ void run_row_shard(int64_t lo, int64_t hi, void* p) {
   part.row_sums += lo * kMr;
   part.rows = std::min<int64_t>(ctx.lhs.rows, hi * kMr) - lo * kMr;
   gemm_lowp_packed_panel(part, ctx.panel, ctx.col_sums, 0, ctx.width, ctx.N,
-                         ctx.rhs_zero, ctx.acc, ctx.C + lo * kMr * ctx.N);
+                         ctx.rhs_zero, ctx.acc, ctx.C + lo * kMr * ctx.N,
+                         ctx.kernel);
 }
 
 }  // namespace
@@ -322,6 +240,9 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
   if (acc == Accumulator::kAuto)
     acc = acc16_safe(K, lhs.zero_point, rhs_zero) ? Accumulator::kI16Shift4
                                                   : Accumulator::kI32;
+  // Resolve the micro-kernel variant once per call so every shard of this
+  // call (and a mid-call TINCY_GEMM_KERNEL change) agrees on the kernel.
+  const Kernel kernel = resolve_kernel(opts.kernel);
 
   core::ThreadPool& pool = opts.pool ? *opts.pool : core::ThreadPool::shared();
   const int64_t total_ops = 2 * M * N * K;
@@ -347,13 +268,13 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
       col_sum += v;
       for (int64_t r = 0; r < kMr; ++r) bexp[k * kMr + r] = v;
     }
-    GemvShardCtx ctx{lhs, bexp, col_sum, rhs_zero, C};
+    GemvShardCtx ctx{lhs, bexp, col_sum, rhs_zero, C, &micro_kernels(kernel)};
     const int64_t blocks = ceil_div(M, kMr);
     const int64_t chunks =
         shards == 1 ? 1 : std::min<int64_t>(blocks, shards * 4);
     pool.parallel_for(0, blocks, chunks, run_gemv_shard, &ctx);
   } else if (num_panels > 1) {
-    PanelShardCtx ctx{lhs, B, rhs_zero, N, C, acc};
+    PanelShardCtx ctx{lhs, B, rhs_zero, N, C, acc, kernel};
     // Fine-grained column-panel sharding: 8 chunks per shard keeps the
     // tail balanced when panel costs vary (skinny-K panels are cheap, so
     // coarse chunks leave whole shards idle at the end).
@@ -367,7 +288,7 @@ void gemm_lowp_packed(const PackedLhsView& lhs, const uint8_t* B,
     uint8_t* panel = arena.alloc<uint8_t>(K * kNr);
     int32_t col_sums[kNr];
     pack_rhs_panel(B, K, N, 0, N, rhs_zero, panel, col_sums);
-    RowShardCtx ctx{lhs, panel, col_sums, N, N, rhs_zero, C, acc};
+    RowShardCtx ctx{lhs, panel, col_sums, N, N, rhs_zero, C, acc, kernel};
     const int64_t blocks = ceil_div(M, kMr);
     const int64_t chunks =
         shards == 1 ? 1 : std::min<int64_t>(blocks, shards * 4);

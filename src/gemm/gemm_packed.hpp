@@ -15,16 +15,20 @@
 ///    to the layer's other derived quantized forms;
 ///  * pack_rhs_panel / the drivers pack RHS strips into K×kNr panels in
 ///    per-thread scratch, so the im2col'd activations are touched once;
-///  * micro-kernel — a kMr×kNr output tile held in register blocks
-///    (simd::U32x16 / simd::I16x16). The i32 path uses the zero-point
-///    decomposition   C[i,j] = Σ a·b − za·colsum_j − zb·rowsum_i + K·za·zb
+///  * micro-kernel — a kMr×kNr output tile held in register blocks.
+///    The i32 path uses the zero-point decomposition
+///    C[i,j] = Σ a·b − za·colsum_j − zb·rowsum_i + K·za·zb
 ///    so the inner loop is pure unsigned u8×u8→u16→u32 widening MACs
 ///    (VMULL.U8/VADDW) — exact, and bit-identical to gemm_lowp_i32. The
 ///    i16 path mirrors the paper's first-layer trick: every centered
 ///    product is rounding-right-shifted by 4 (VRSHR) and added with
 ///    saturation (VQADD) into 16-bit accumulators, rescaled by 16 on
 ///    output — faster, slightly lossy, bit-identical to the scalar oracle
-///    gemm_lowp_i32_shift4;
+///    gemm_lowp_i32_shift4. Each micro-kernel ships in several
+///    runtime-dispatched width variants (scalar baseline, portable NEON
+///    lane model, AVX2 intrinsics — see gemm/kernels.hpp); every variant
+///    is bit-identical to the others and to the scalar oracles, the
+///    contract enforced by tests/test_gemm_conformance.cpp;
 ///  * threading — column panels (row blocks for GEMV-shaped calls) are
 ///    sharded over core::ThreadPool::parallel_for; every worker packs into
 ///    its own thread arena, so the steady-state hot path performs zero
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "gemm/kernels.hpp"
 
 namespace tincy::gemm {
 
@@ -118,6 +123,11 @@ void gemm_lowp_i32_shift4(int64_t M, int64_t N, int64_t K, const uint8_t* A,
 /// Knobs of one packed GEMM call.
 struct GemmOptions {
   Accumulator acc = Accumulator::kI32;
+  /// Micro-kernel variant. kAuto honours the TINCY_GEMM_KERNEL
+  /// environment override, else dispatches the widest variant this
+  /// machine supports (see gemm/kernels.hpp). All variants produce
+  /// bit-identical output; explicit values are a testing/benching knob.
+  Kernel kernel = Kernel::kAuto;
   core::ThreadPool* pool = nullptr;  ///< null -> ThreadPool::shared()
   bool allow_threads = true;         ///< false forces a single-thread run
   /// Minimum multiply-accumulates per shard; below it the call stays
@@ -138,7 +148,7 @@ struct GemmOptions {
 void gemm_lowp_packed_panel(const PackedLhsView& lhs, const uint8_t* panel,
                             const int32_t* col_sums, int64_t j0, int64_t width,
                             int64_t N, int32_t rhs_zero, Accumulator acc,
-                            int32_t* C);
+                            int32_t* C, Kernel kernel = Kernel::kAuto);
 
 /// C_i32 (M×N) = packed-GEMM of `lhs` (M×K panels) and row-major B (K×N).
 /// Bit-identical to gemm_lowp_i32 under kI32 and to gemm_lowp_i32_shift4

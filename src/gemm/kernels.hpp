@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Runtime-dispatched micro-kernel variants of the packed GEMM engine.
+///
+/// The paper's §III-D CPU kernels get their throughput from NEON widening
+/// i8 multiply-accumulates and saturating rounding narrows. This host is
+/// x86, so the engine ships the same micro-kernels at three width tiers
+/// and picks the widest one the machine can run:
+///
+///   kScalar — plain scalar loops with auto-vectorization disabled. The
+///             slowest variant and the micro-kernel-level baseline the
+///             bench gate measures speedups against; also the most
+///             trustworthy shoulder-check next to the gemm_lowp_i32 /
+///             gemm_lowp_i32_shift4 oracles.
+///   kLanes  — the portable NEON lane model (simd/vec.hpp): fixed
+///             trip-count 16-lane loops over U32x16/I16x16 register
+///             blocks that compilers auto-vectorize to the host's
+///             baseline ISA (SSE2 on x86-64).
+///   kAvx2   — AVX2 intrinsics issuing the same arithmetic on 256-bit
+///             registers (one 16-lane row per VPMULLW + widening adds),
+///             compiled per-function with target("avx2") and selected at
+///             runtime via cpuid.
+///
+/// Every variant computes bit-identical results for all inputs — the
+/// contract enforced by tests/test_gemm_conformance.cpp, which sweeps
+/// randomized shapes and saturation-boundary values across every
+/// dispatchable variant against the scalar oracles.
+///
+/// Dispatch: GemmOptions::kernel defaults to Kernel::kAuto, which obeys
+/// the TINCY_GEMM_KERNEL environment override ("scalar", "lanes",
+/// "avx2") when set and valid, else picks the widest supported variant.
+/// Requesting an unsupported variant falls back to the widest supported
+/// one rather than failing — the override is a testing/benching knob,
+/// not a correctness switch.
+
+#include <cstdint>
+#include <vector>
+
+namespace tincy::gemm {
+
+/// Micro-kernel variant of one packed GEMM call.
+enum class Kernel : int {
+  kAuto = 0,  ///< TINCY_GEMM_KERNEL override, else widest supported
+  kScalar,    ///< scalar loops, auto-vectorization disabled (baseline)
+  kLanes,     ///< portable NEON lane model, compiler-auto-vectorized
+  kAvx2,      ///< AVX2 intrinsics, runtime cpuid-dispatched (x86 only)
+};
+
+/// One variant's micro-kernel entry points. All operate on the packed
+/// panel layouts of gemm_packed.hpp (kMr-row LHS panels, kNr-wide RHS
+/// panels) and are bit-identical across variants by contract.
+struct MicroKernels {
+  /// 4×16 tile of the exact-i32 path: raw unsigned u8·u8 dot products
+  /// into u32 accumulators; zero-point corrections happen on write-back.
+  void (*i32)(const uint8_t* a, const uint8_t* b, int64_t K, uint32_t* tile);
+  /// 4×16 tile of the paper's 16-bit accumulator path: centered products
+  /// rounding-right-shifted by 4, saturating-added, rescaled by 16.
+  void (*i16shift4)(const uint8_t* a, const uint8_t* b, int64_t K,
+                    int32_t lhs_zero, int32_t rhs_zero, int32_t* tile);
+  /// GEMV (N == 1) flat-dot kernel over one packed row block: `a` is the
+  /// K·kMr-byte packed block, `bexp` the RHS column replicated kMr times;
+  /// writes kMr raw (offset-uncorrected) dot products.
+  void (*gemv)(const uint8_t* a, const uint8_t* bexp, int64_t len,
+               int64_t* raw);
+};
+
+/// Human-readable variant name ("auto", "scalar", "lanes", "avx2").
+const char* kernel_name(Kernel k);
+
+/// Parses a TINCY_GEMM_KERNEL-style name; returns kAuto for anything
+/// unrecognized (including nullptr).
+Kernel parse_kernel_name(const char* name);
+
+/// True when the variant can run on this machine (kScalar/kLanes always;
+/// kAvx2 requires x86 AVX2, probed once via cpuid). kAuto is not a
+/// concrete variant and reports false.
+bool kernel_supported(Kernel k);
+
+/// Widest supported concrete variant on this machine.
+Kernel widest_supported_kernel();
+
+/// Resolves a requested variant to the concrete variant a call will run:
+/// kAuto honours TINCY_GEMM_KERNEL (read per call, so tests can flip it)
+/// then falls back to widest_supported_kernel(); an unsupported explicit
+/// request also falls back to widest_supported_kernel().
+Kernel resolve_kernel(Kernel requested);
+
+/// All concrete variants runnable on this machine, narrowest first —
+/// the sweep list of the conformance harness and the bench gate.
+std::vector<Kernel> dispatchable_kernels();
+
+/// Entry points of a concrete (resolved) variant.
+const MicroKernels& micro_kernels(Kernel resolved);
+
+/// AVX2 entry points, or nullptr when the build or machine lacks AVX2.
+/// Defined in kernels_avx2.cpp; exposed for the dispatch table only.
+const MicroKernels* avx2_micro_kernels();
+
+}  // namespace tincy::gemm

@@ -1,0 +1,142 @@
+/// \file kernels_avx2.cpp
+/// AVX2 micro-kernels of the packed GEMM engine (Kernel::kAvx2).
+///
+/// Same arithmetic as the portable lane-model kernels, issued on 256-bit
+/// registers: one full kNr=16-lane row per VPMULLW, widened into i32/u32
+/// accumulators with unpack/convert pairs. Each function carries
+/// target("avx2") so the TU builds without global -mavx2; the dispatcher
+/// probes cpuid at runtime and only hands these out when the machine can
+/// execute them. Bit-identity with the scalar oracles is by construction:
+///   * u8·u8 products are exact in the low 16 bits VPMULLW keeps;
+///   * the VRSHR rounding shift (x + 8) >> 4 is issued overflow-free as
+///     (x >> 4) + ((x >> 3) & 1), an identity for arithmetic shifts;
+///   * VQADD maps to VPADDSW.
+
+#include "gemm/kernels.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include "gemm/gemm_packed.hpp"
+
+namespace tincy::gemm {
+namespace {
+
+#define TINCY_AVX2 __attribute__((target("avx2")))
+
+/// Zero-extends the 16 u8 lanes at p into one 16×u16 ymm (VPMOVZXBW).
+TINCY_AVX2 inline __m256i load_u8x16_as_u16(const uint8_t* p) {
+  return _mm256_cvtepu8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+/// Rounding arithmetic shift right by 4 on i16 lanes (VRSHR.S16 #4),
+/// overflow-free: (x + 8) >> 4 == (x >> 4) + ((x >> 3) & 1).
+TINCY_AVX2 inline __m256i rounding_shift_right4_i16(__m256i x) {
+  return _mm256_add_epi16(
+      _mm256_srai_epi16(x, 4),
+      _mm256_and_si256(_mm256_srai_epi16(x, 3), _mm256_set1_epi16(1)));
+}
+
+/// 4×16 i32 tile: raw unsigned dot of the zero-point decomposition. The
+/// u16 products are interleave-widened into two u32 accumulators per row
+/// ([0-3,8-11] / [4-7,12-15]); the store permutes them back in order.
+TINCY_AVX2 void avx2_i32(const uint8_t* a, const uint8_t* b, int64_t K,
+                         uint32_t* tile) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc_lo[kMr], acc_hi[kMr];
+  for (int64_t r = 0; r < kMr; ++r) acc_lo[r] = acc_hi[r] = zero;
+  for (int64_t k = 0; k < K; ++k) {
+    const __m256i bv = load_u8x16_as_u16(b + k * kNr);
+    const uint8_t* ak = a + k * kMr;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const __m256i prod =
+          _mm256_mullo_epi16(bv, _mm256_set1_epi16(ak[r]));  // exact u16
+      acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_unpacklo_epi16(prod, zero));
+      acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_unpackhi_epi16(prod, zero));
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    __m256i* out = reinterpret_cast<__m256i*>(tile + r * kNr);
+    _mm256_storeu_si256(out,
+                        _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20));
+    _mm256_storeu_si256(out + 1,
+                        _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31));
+  }
+}
+
+/// 4×16 tile of the 16-bit accumulator path: centered products (low-16
+/// wrap, exactly the scalar cast), VRSHR by 4, saturating add (VPADDSW),
+/// rescale by 16 on the widening store.
+TINCY_AVX2 void avx2_i16shift4(const uint8_t* a, const uint8_t* b, int64_t K,
+                               int32_t lhs_zero, int32_t rhs_zero,
+                               int32_t* tile) {
+  const __m256i vzb = _mm256_set1_epi16(static_cast<short>(rhs_zero));
+  __m256i acc[kMr];
+  for (int64_t r = 0; r < kMr; ++r) acc[r] = _mm256_setzero_si256();
+  for (int64_t k = 0; k < K; ++k) {
+    const __m256i bv = _mm256_sub_epi16(load_u8x16_as_u16(b + k * kNr), vzb);
+    const uint8_t* ak = a + k * kMr;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const __m256i av = _mm256_set1_epi16(
+          static_cast<short>(static_cast<int32_t>(ak[r]) - lhs_zero));
+      acc[r] = _mm256_adds_epi16(
+          acc[r], rounding_shift_right4_i16(_mm256_mullo_epi16(av, bv)));
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    const __m256i lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(acc[r]));
+    const __m256i hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(acc[r], 1));
+    __m256i* out = reinterpret_cast<__m256i*>(tile + r * kNr);
+    _mm256_storeu_si256(out, _mm256_slli_epi32(lo, 4));
+    _mm256_storeu_si256(out + 1, _mm256_slli_epi32(hi, 4));
+  }
+}
+
+/// GEMV flat dot: 16 u8 pairs per step, widened products accumulated in
+/// interleaved u32 lanes. Every interleaved group of 4 lanes stays
+/// congruent to its logical position mod kMr, so the fold by buffer
+/// index % kMr recovers exactly the lane-model row assignment.
+TINCY_AVX2 void avx2_gemv(const uint8_t* a, const uint8_t* bexp, int64_t len,
+                          int64_t* raw) {
+  static_assert(kMr == 4, "interleaved fold relies on 4-aligned groups");
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc_lo = zero, acc_hi = zero;
+  int64_t l = 0;
+  for (; l + 16 <= len; l += 16) {
+    const __m256i prod = _mm256_mullo_epi16(load_u8x16_as_u16(a + l),
+                                            load_u8x16_as_u16(bexp + l));
+    acc_lo = _mm256_add_epi32(acc_lo, _mm256_unpacklo_epi16(prod, zero));
+    acc_hi = _mm256_add_epi32(acc_hi, _mm256_unpackhi_epi16(prod, zero));
+  }
+  uint32_t buf[16];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf), acc_lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf + 8), acc_hi);
+  for (int64_t r = 0; r < kMr; ++r) raw[r] = 0;
+  for (int p = 0; p < 16; ++p) raw[p % kMr] += static_cast<int64_t>(buf[p]);
+  for (; l < len; ++l)
+    raw[l % kMr] += static_cast<int64_t>(a[l]) * bexp[l];
+}
+
+#undef TINCY_AVX2
+
+constexpr MicroKernels kAvx2Kernels{avx2_i32, avx2_i16shift4, avx2_gemv};
+
+}  // namespace
+
+const MicroKernels* avx2_micro_kernels() {
+  static const MicroKernels* mk =
+      __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+  return mk;
+}
+
+}  // namespace tincy::gemm
+
+#else  // non-x86 or non-GCC-compatible build: variant unavailable
+
+namespace tincy::gemm {
+const MicroKernels* avx2_micro_kernels() { return nullptr; }
+}  // namespace tincy::gemm
+
+#endif

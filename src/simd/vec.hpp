@@ -202,6 +202,37 @@ std::pair<Vec<T, N / 2>, Vec<T, N / 2>> split(Vec<T, N> v) {
   return {lo, hi};
 }
 
+/// Saturating rounding shift-right-narrow of two i32x4 into one i16x8
+/// (VQRSHRN.S32 pair): round-half-up shift performed in wide precision
+/// (no intermediate overflow), then saturation to the narrow lane range —
+/// the requantization narrow the paper's NEON kernels end on. NEON
+/// encodes shift immediates 1..lane-bits; a non-positive n is guarded to
+/// "no shift" so the op degrades to a plain saturating narrow (VQMOVN)
+/// instead of invoking undefined shift behaviour.
+inline I16x8 rounding_narrowing_shift_right(I32x4 lo, I32x4 hi, int n) {
+  I16x8 r;
+  for (int i = 0; i < 4; ++i) {
+    r.lane[i] = tincy::saturate_cast<int16_t>(
+        tincy::rounding_right_shift<int32_t>(lo.lane[i], n));
+    r.lane[i + 4] = tincy::saturate_cast<int16_t>(
+        tincy::rounding_right_shift<int32_t>(hi.lane[i], n));
+  }
+  return r;
+}
+
+/// Saturating rounding shift-right-narrow of two i16x8 into one i8x16
+/// (VQRSHRN.S16 pair). Same semantics as the i32→i16 form.
+inline I8x16 rounding_narrowing_shift_right(I16x8 lo, I16x8 hi, int n) {
+  I8x16 r;
+  for (int i = 0; i < 8; ++i) {
+    r.lane[i] = tincy::saturate_cast<int8_t>(
+        tincy::rounding_right_shift<int16_t>(lo.lane[i], n));
+    r.lane[i + 8] = tincy::saturate_cast<int8_t>(
+        tincy::rounding_right_shift<int16_t>(hi.lane[i], n));
+  }
+  return r;
+}
+
 /// Saturating narrow of two i32x4 into one i16x8 (VQMOVN.S32 pair).
 inline I16x8 saturating_narrow(I32x4 lo, I32x4 hi) {
   I16x8 r;

@@ -12,6 +12,8 @@
 //   tincy export-binparam <cfg> <weights|-> <dir>
 //                                               fabric parameter export
 //   tincy ladder                                the Sec. III speedup ladder
+//   tincy kernels                               GEMM micro-kernel dispatch
+//                                               table on this machine
 //
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the telemetry snapshot as JSON on exit
@@ -24,6 +26,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -40,6 +43,7 @@
 #include "data/image.hpp"
 #include "detect/decode.hpp"
 #include "detect/nms.hpp"
+#include "gemm/kernels.hpp"
 #include "nn/builder.hpp"
 #include "nn/describe.hpp"
 #include "nn/ops.hpp"
@@ -282,6 +286,32 @@ int cmd_ladder() {
   return 0;
 }
 
+int cmd_kernels() {
+  // Reports the packed-GEMM micro-kernel dispatch table on this machine:
+  // which variants are runnable, which one kAuto resolves to, and
+  // whether a TINCY_GEMM_KERNEL override is steering the choice.
+  const char* env = std::getenv("TINCY_GEMM_KERNEL");
+  const gemm::Kernel resolved = gemm::resolve_kernel(gemm::Kernel::kAuto);
+  std::printf("packed-GEMM micro-kernel variants (gemm/kernels.hpp):\n");
+  for (const gemm::Kernel k :
+       {gemm::Kernel::kScalar, gemm::Kernel::kLanes, gemm::Kernel::kAvx2}) {
+    std::printf("  %-7s %-11s%s\n", gemm::kernel_name(k),
+                gemm::kernel_supported(k) ? "supported" : "unavailable",
+                k == resolved ? "  <- dispatched by kAuto" : "");
+  }
+  std::printf("widest supported: %s\n",
+              gemm::kernel_name(gemm::widest_supported_kernel()));
+  if (env)
+    std::printf("TINCY_GEMM_KERNEL=%s (%s)\n", env,
+                gemm::parse_kernel_name(env) == gemm::Kernel::kAuto
+                    ? "unrecognized -> auto selection"
+                    : "honoured by kAuto dispatch");
+  else
+    std::printf("TINCY_GEMM_KERNEL unset (set to scalar|lanes|avx2 to "
+                "override kAuto)\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -293,6 +323,7 @@ int usage() {
       "  tincy serve-sim [streams] [frames] [workers]\n"
       "  tincy export-binparam <cfg|zoo:...> <weights|-> <dir>\n"
       "  tincy ladder\n"
+      "  tincy kernels\n"
       "global flags: --metrics-json <path>  --metrics-summary  "
       "--trace <path>\n"
       "zoo shorthands: zoo:tiny zoo:tincy zoo:tincy-w1a3 zoo:mlp4 zoo:cnv6\n");
@@ -379,6 +410,7 @@ int main(int argc, char** argv) {
     else if (cmd == "export-binparam")
       rc = cmd_export_binparam(nargs - 2, args.data() + 2);
     else if (cmd == "ladder") rc = cmd_ladder();
+    else if (cmd == "kernels") rc = cmd_kernels();
     if (rc >= 0) {
       rc = emit_trace(trace_json, rc);
       return emit_metrics(metrics_json, metrics_summary, rc);
